@@ -1,0 +1,242 @@
+// Package ampi is an executable AMPI-style adaptive MPI runtime, the
+// comparator the paper evaluates against in §5.2.2: MPI-compatible virtual
+// ranks ("vranks") over-decomposed onto processing elements (PEs), with a
+// measurement-based load balancer that migrates whole vranks between PEs.
+//
+// Like AMPI (Kale & Zheng; built on Charm++), the unit of load sharing is a
+// *rank*, moved at explicit balancing points — contrast with Pure, which
+// shares *chunks of a task* at communication-latency granularity.  The
+// paper attributes Pure's win over AMPI to exactly this difference, and the
+// discrete-event models in internal/desmodels quantify it; this package
+// provides the real, runnable semantics:
+//
+//   - vranks are goroutines, but each PE executes at most one vrank at a
+//     time (vranks hold their PE's token while computing and release it
+//     while blocked in communication — AMPI's user-level-thread scheduling);
+//   - messaging is MPI-like: matching on (source, tag), non-overtaking,
+//     buffered eager semantics (this library is a comparator for
+//     load-balancing behaviour, not a transport benchmark);
+//   - Migrate is a collective balancing point: loads measured since the
+//     previous call drive a longest-processing-time greedy reassignment of
+//     vranks to PEs.
+package ampi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ssw"
+)
+
+// Config configures a run.
+type Config struct {
+	// VRanks is the number of virtual MPI ranks the application sees.
+	VRanks int
+	// PEs is the number of processing elements (cores).  VRanks/PEs is the
+	// virtualization ratio (AMPI's +vp).  VRanks must be divisible by PEs.
+	PEs int
+	// Strict caps each PE at VRanks/PEs vranks after balancing; when false
+	// (default), the balancer may pack any number of vranks per PE, like
+	// AMPI's greedy strategies.
+	Strict bool
+}
+
+// Runtime is one ampi program instance.
+type Runtime struct {
+	cfg   Config
+	peTok []chan struct{} // one token per PE; holder is the running vrank
+	peOf  []int32         // vrank -> PE (atomic via int32 loads/stores)
+	loads []int64         // ns of PE time consumed since last Migrate
+	boxes []*mailbox
+	moved atomic.Int64
+	// migration epoch state
+	lbMu      sync.Mutex
+	lbArrived int
+	lbEpoch   atomic.Int64
+}
+
+// VRank is one virtual rank's handle.
+type VRank struct {
+	id      int
+	rt      *Runtime
+	world   *Comm
+	started time.Time // when the PE token was last acquired
+	heldPE  int       // which PE's token this vrank is holding
+	wait    ssw.Waiter
+}
+
+// Run launches the program: main runs once per vrank.
+func Run(cfg Config, main func(v *VRank)) error {
+	if cfg.VRanks <= 0 || cfg.PEs <= 0 {
+		return fmt.Errorf("ampi: VRanks and PEs must be positive, got %+v", cfg)
+	}
+	if cfg.VRanks%cfg.PEs != 0 {
+		return fmt.Errorf("ampi: %d vranks not divisible by %d PEs", cfg.VRanks, cfg.PEs)
+	}
+	rt := &Runtime{
+		cfg:   cfg,
+		peTok: make([]chan struct{}, cfg.PEs),
+		peOf:  make([]int32, cfg.VRanks),
+		loads: make([]int64, cfg.VRanks),
+		boxes: make([]*mailbox, cfg.VRanks),
+	}
+	for pe := range rt.peTok {
+		rt.peTok[pe] = make(chan struct{}, 1)
+		rt.peTok[pe] <- struct{}{}
+	}
+	vp := cfg.VRanks / cfg.PEs
+	for v := range rt.peOf {
+		rt.peOf[v] = int32(v / vp) // AMPI's default block mapping
+	}
+	for v := range rt.boxes {
+		rt.boxes[v] = &mailbox{}
+	}
+
+	var wg sync.WaitGroup
+	panics := make(chan any, cfg.VRanks)
+	for id := 0; id < cfg.VRanks; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("vrank %d: %v", id, p)
+				}
+			}()
+			v := &VRank{id: id, rt: rt}
+			v.world = &Comm{v: v}
+			v.acquirePE()
+			defer v.releasePE()
+			main(v)
+		}(id)
+	}
+	wg.Wait()
+	close(panics)
+	if p, ok := <-panics; ok {
+		return fmt.Errorf("ampi: vrank panicked: %v", p)
+	}
+	return nil
+}
+
+// ID returns the vrank's id.
+func (v *VRank) ID() int { return v.id }
+
+// Size returns the number of vranks.
+func (v *VRank) Size() int { return v.rt.cfg.VRanks }
+
+// PE returns the processing element currently hosting this vrank.
+func (v *VRank) PE() int { return int(atomic.LoadInt32(&v.rt.peOf[v.id])) }
+
+// World returns the world communicator.
+func (v *VRank) World() *Comm { return v.world }
+
+// Migrations returns how many vrank moves the balancer has performed.
+func (rt *Runtime) Migrations() int64 { return rt.moved.Load() }
+
+// Runtime exposes the runtime for diagnostics.
+func (v *VRank) Runtime() *Runtime { return v.rt }
+
+// acquirePE blocks until this vrank's current PE token is free, then starts
+// the load clock.  The PE is re-read after acquisition in case the balancer
+// moved the vrank while it waited.
+func (v *VRank) acquirePE() {
+	for {
+		pe := int(atomic.LoadInt32(&v.rt.peOf[v.id]))
+		<-v.rt.peTok[pe]
+		// Confirm the assignment did not change while we waited.
+		if int(atomic.LoadInt32(&v.rt.peOf[v.id])) == pe {
+			v.heldPE = pe
+			v.started = time.Now()
+			return
+		}
+		v.rt.peTok[pe] <- struct{}{}
+	}
+}
+
+// releasePE returns the token of the PE this vrank actually holds (the
+// balancer may have reassigned the vrank since acquisition) and accounts
+// the held time as load.
+func (v *VRank) releasePE() {
+	atomic.AddInt64(&v.rt.loads[v.id], time.Since(v.started).Nanoseconds())
+	v.rt.peTok[v.heldPE] <- struct{}{}
+}
+
+// blockingWait releases the PE while waiting (so a co-located vrank can
+// run — the overlap overdecomposition buys) and reacquires it after.
+func (v *VRank) blockingWait(cond func() bool) {
+	if cond() {
+		return
+	}
+	v.releasePE()
+	v.wait.Wait(cond)
+	v.acquirePE()
+}
+
+// Migrate is the collective load-balancing point (AMPI_Migrate): all vranks
+// must call it.  The last arrival runs the balancer; every vrank may come
+// back assigned to a different PE.
+func (v *VRank) Migrate() {
+	rt := v.rt
+	epoch := rt.lbEpoch.Load()
+	rt.lbMu.Lock()
+	rt.lbArrived++
+	if rt.lbArrived == rt.cfg.VRanks {
+		rt.lbArrived = 0
+		rt.rebalance()
+		rt.lbEpoch.Add(1)
+		rt.lbMu.Unlock()
+	} else {
+		rt.lbMu.Unlock()
+		v.blockingWait(func() bool { return rt.lbEpoch.Load() > epoch })
+	}
+	// Hop to the (possibly new) PE: release the old token, take the new.
+	v.releasePE()
+	v.acquirePE()
+}
+
+// rebalance reassigns vranks to PEs by descending measured load (LPT
+// greedy), resetting the measurements.  Called with lbMu held and all
+// vranks parked in Migrate.
+func (rt *Runtime) rebalance() {
+	type vl struct {
+		v    int
+		load int64
+	}
+	vs := make([]vl, rt.cfg.VRanks)
+	for i := range vs {
+		vs[i] = vl{v: i, load: atomic.LoadInt64(&rt.loads[i])}
+	}
+	sort.Slice(vs, func(a, b int) bool {
+		if vs[a].load != vs[b].load {
+			return vs[a].load > vs[b].load
+		}
+		return vs[a].v < vs[b].v
+	})
+	vpCap := rt.cfg.VRanks / rt.cfg.PEs
+	peLoad := make([]int64, rt.cfg.PEs)
+	peCount := make([]int, rt.cfg.PEs)
+	for _, e := range vs {
+		best := -1
+		for pe := 0; pe < rt.cfg.PEs; pe++ {
+			if rt.cfg.Strict && peCount[pe] >= vpCap {
+				continue
+			}
+			if best < 0 || peLoad[pe] < peLoad[best] {
+				best = pe
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		if int32(best) != atomic.LoadInt32(&rt.peOf[e.v]) {
+			atomic.StoreInt32(&rt.peOf[e.v], int32(best))
+			rt.moved.Add(1)
+		}
+		peLoad[best] += e.load
+		peCount[best]++
+		atomic.StoreInt64(&rt.loads[e.v], 0)
+	}
+}

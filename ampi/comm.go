@@ -1,0 +1,225 @@
+package ampi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/collective"
+)
+
+// collTagBase reserves the upper tag space for collective trees.
+const collTagBase = 1 << 29
+
+// Op / DType re-exports (matching mpibase and pure).
+type Op = collective.Op
+
+// Reduction operators.
+const (
+	Sum  = collective.OpSum
+	Prod = collective.OpProd
+	Min  = collective.OpMin
+	Max  = collective.OpMax
+)
+
+// DType is a payload element type.
+type DType = collective.DType
+
+// Element types.
+const (
+	Float64 = collective.Float64
+	Int64   = collective.Int64
+)
+
+// inMsg is a buffered arrived message.
+type inMsg struct {
+	src, tag int
+	data     []byte
+}
+
+// postedRecv is a receive awaiting its message.
+type postedRecv struct {
+	src, tag int
+	buf      []byte
+	n        int
+	done     bool // guarded by the owning mailbox's lock; read via Done()
+	mu       *sync.Mutex
+}
+
+// Done reports completion (safe for the waiting vrank's spin loop).
+func (p *postedRecv) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// mailbox is one vrank's matching state (MPI non-overtaking per (src, tag)).
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []*inMsg
+	posted     []*postedRecv
+}
+
+// Comm is the world communicator handle (this comparator does not implement
+// sub-communicators; the paper's AMPI comparison uses world-only patterns).
+type Comm struct {
+	v *VRank
+}
+
+// Rank returns the calling vrank's id.
+func (c *Comm) Rank() int { return c.v.id }
+
+// Size returns the vrank count.
+func (c *Comm) Size() int { return c.v.rt.cfg.VRanks }
+
+func (c *Comm) checkPeer(p int, what string) {
+	if p < 0 || p >= c.Size() {
+		panic(fmt.Sprintf("ampi: %s rank %d out of range [0,%d)", what, p, c.Size()))
+	}
+	if p == c.v.id {
+		panic("ampi: self-messaging is not supported")
+	}
+}
+
+func checkTag(tag int) {
+	if tag < 0 || tag >= collTagBase {
+		panic(fmt.Sprintf("ampi: tag %d outside [0, %d)", tag, collTagBase))
+	}
+}
+
+// Send delivers buf to dst (buffered eager semantics: the payload is copied
+// and the call returns immediately once matched or queued).
+func (c *Comm) Send(buf []byte, dst, tag int) {
+	c.checkPeer(dst, "destination")
+	checkTag(tag)
+	c.send(buf, dst, tag)
+}
+
+func (c *Comm) send(buf []byte, dst, tag int) {
+	box := c.v.rt.boxes[dst]
+	box.mu.Lock()
+	for i, pr := range box.posted {
+		if pr.src == c.v.id && pr.tag == tag {
+			if len(buf) > len(pr.buf) {
+				box.mu.Unlock()
+				panic(fmt.Sprintf("ampi: %d-byte message overflows %d-byte receive buffer", len(buf), len(pr.buf)))
+			}
+			pr.n = copy(pr.buf, buf)
+			pr.done = true
+			box.posted = append(box.posted[:i], box.posted[i+1:]...)
+			box.mu.Unlock()
+			return
+		}
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	box.unexpected = append(box.unexpected, &inMsg{src: c.v.id, tag: tag, data: cp})
+	box.mu.Unlock()
+}
+
+// Recv blocks until a matching message is delivered into buf; the vrank's
+// PE is released while it waits so co-located vranks can run.
+func (c *Comm) Recv(buf []byte, src, tag int) int {
+	c.checkPeer(src, "source")
+	checkTag(tag)
+	return c.recv(buf, src, tag)
+}
+
+func (c *Comm) recv(buf []byte, src, tag int) int {
+	box := c.v.rt.boxes[c.v.id]
+	box.mu.Lock()
+	for i, m := range box.unexpected {
+		if m.src == src && m.tag == tag {
+			box.unexpected = append(box.unexpected[:i], box.unexpected[i+1:]...)
+			box.mu.Unlock()
+			if len(m.data) > len(buf) {
+				panic(fmt.Sprintf("ampi: %d-byte message overflows %d-byte receive buffer", len(m.data), len(buf)))
+			}
+			return copy(buf, m.data)
+		}
+	}
+	pr := &postedRecv{src: src, tag: tag, buf: buf, mu: &box.mu}
+	box.posted = append(box.posted, pr)
+	box.mu.Unlock()
+	c.v.blockingWait(pr.Done)
+	return pr.n
+}
+
+// Barrier blocks until every vrank has entered it (dissemination algorithm).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.v.id
+	token := []byte{1}
+	in := make([]byte, 1)
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		c.send(token, (me+dist)%n, collTagBase+round)
+		c.recv(in, (me-dist+n)%n, collTagBase+round)
+	}
+}
+
+// Bcast distributes root's buf via a binomial tree.
+func (c *Comm) Bcast(buf []byte, root int) {
+	if root < 0 || root >= c.Size() {
+		panic("ampi: bad root")
+	}
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	vr := (c.v.id - root + n) % n
+	toReal := func(u int) int { return (u + root) % n }
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			c.recv(buf, toReal(vr-mask), collTagBase+16)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < n {
+			c.send(buf, toReal(vr+mask), collTagBase+16)
+		}
+		mask >>= 1
+	}
+}
+
+// Allreduce folds in into out across all vranks (binomial reduce to vrank 0
+// plus binomial broadcast).  out must hold len(in) bytes on every vrank.
+func (c *Comm) Allreduce(in, out []byte, op Op, dt DType) {
+	if len(out) < len(in) {
+		panic(fmt.Sprintf("ampi: Allreduce out buffer %d smaller than in %d", len(out), len(in)))
+	}
+	n := c.Size()
+	acc := out[:len(in)]
+	copy(acc, in)
+	var tmp []byte
+	for mask := 1; mask < n; mask <<= 1 {
+		if c.v.id&mask != 0 {
+			c.send(acc, c.v.id-mask, collTagBase+17)
+			break // partial forwarded; the broadcast refills acc
+		}
+		if c.v.id+mask < n {
+			if tmp == nil {
+				tmp = make([]byte, len(in))
+			}
+			c.recv(tmp[:len(in)], c.v.id+mask, collTagBase+17)
+			collective.Accumulate(acc, tmp[:len(in)], op, dt)
+		}
+	}
+	c.Bcast(acc, 0)
+}
+
+// AllreduceFloat64 folds one float64 across all vranks.
+func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
+	in := make([]byte, 8)
+	binary.LittleEndian.PutUint64(in, math.Float64bits(v))
+	out := make([]byte, 8)
+	c.Allreduce(in, out, op, Float64)
+	return math.Float64frombits(binary.LittleEndian.Uint64(out))
+}

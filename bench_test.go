@@ -1,0 +1,49 @@
+package repro
+
+// One testing.B benchmark per table/figure of the paper's evaluation.  Each
+// runs the corresponding experiment from internal/bench in quick mode (the
+// full-scale sweeps are produced by cmd/purebench) and reports the
+// headline series as benchmark metrics, so `go test -bench=.` regenerates
+// every result's shape in seconds.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// runExperiment executes the experiment once per benchmark iteration and
+// logs the resulting table.
+func runExperiment(b *testing.B, f func(bool) bench.Table) {
+	b.Helper()
+	var tb bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = f(true)
+	}
+	b.StopTimer()
+	if len(tb.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	if testing.Verbose() {
+		b.Logf("table %s: %d rows", tb.ID, len(tb.Rows))
+	}
+}
+
+func BenchmarkFig1Timeline(b *testing.B)        { runExperiment(b, bench.Fig1Timeline) }
+func BenchmarkSec2Stencil(b *testing.B)         { runExperiment(b, bench.Sec2Stencil) }
+func BenchmarkFig4DT(b *testing.B)              { runExperiment(b, bench.Fig4DT) }
+func BenchmarkFig5aCoMD(b *testing.B)           { runExperiment(b, bench.Fig5aCoMD) }
+func BenchmarkFig5bCoMDImbalanced(b *testing.B) { runExperiment(b, bench.Fig5bCoMDImbalanced) }
+func BenchmarkFig5cCoMDDynamic(b *testing.B)    { runExperiment(b, bench.Fig5cCoMDDynamic) }
+func BenchmarkFig5dMiniAMR(b *testing.B)        { runExperiment(b, bench.Fig5dMiniAMR) }
+func BenchmarkFig6PingPong(b *testing.B)        { runExperiment(b, bench.Fig6PingPong) }
+func BenchmarkFig6RealHost(b *testing.B)        { runExperiment(b, bench.RealHostPingPong) }
+func BenchmarkFig7aAllreduce(b *testing.B)      { runExperiment(b, bench.Fig7aAllreduce) }
+func BenchmarkFig7bBarrierNode(b *testing.B)    { runExperiment(b, bench.Fig7bBarrierNode) }
+func BenchmarkFig7bRealHost(b *testing.B)       { runExperiment(b, bench.RealHostBarrier) }
+func BenchmarkFig7cBarrierScale(b *testing.B)   { runExperiment(b, bench.Fig7cBarrierScale) }
+func BenchmarkAppAExtraCollectives(b *testing.B) {
+	runExperiment(b, bench.AppAExtraCollectives)
+}
+func BenchmarkAppCThreshold(b *testing.B)    { runExperiment(b, bench.AppCThreshold) }
+func BenchmarkAblationPBQSlots(b *testing.B) { runExperiment(b, bench.AblationPBQSlots) }

@@ -1,0 +1,198 @@
+// Command mpi2pure is the source-to-source translator this reproduction's
+// applications were ported with, mirroring the paper's MPI-to-Pure
+// translator ("we used our MPI-to-Pure source translator to automatically
+// write the Pure message code", §2; Pure Tools, §4.0.3).
+//
+// It rewrites a Go source file written against the mpibase baseline API
+// into the pure API:
+//
+//   - the "repro/mpibase" import becomes "repro/pure" (qualifier included);
+//   - mpibase.Run/Config/Proc become pure.Run/Config/Rank;
+//   - Config field EagerMax becomes SmallMsgMax;
+//   - messaging, collective, communicator and typed-helper calls keep their
+//     names (the APIs are deliberately aligned, as Pure's are with MPI's).
+//
+// Usage:
+//
+//	mpi2pure [-o out.go] in.go     # single file to stdout or -o
+//	mpi2pure -w in.go ...          # rewrite files in place
+//	mpi2pure -w -r dir             # rewrite every mpibase-using file under dir
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// renamedIdents maps mpibase identifiers that change names in pure.
+var renamedIdents = map[string]string{
+	"Proc": "Rank",
+}
+
+// renamedFields maps mpibase.Config fields to pure.Config fields.
+var renamedFields = map[string]string{
+	"EagerMax": "SmallMsgMax",
+}
+
+// Translate rewrites one source file's bytes.
+func Translate(filename string, src []byte) ([]byte, []string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi2pure: parsing %s: %w", filename, err)
+	}
+	var warnings []string
+	qualifier := "" // local name the file uses for the mpibase package
+	for _, imp := range file.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		if path != "repro/mpibase" {
+			continue
+		}
+		imp.Path.Value = strconv.Quote("repro/pure")
+		if imp.Name != nil {
+			qualifier = imp.Name.Name
+		} else {
+			qualifier = "mpibase"
+			// The default qualifier changes with the import path.
+			imp.Name = nil
+		}
+	}
+	if qualifier == "" {
+		return nil, nil, fmt.Errorf("mpi2pure: %s does not import repro/mpibase", filename)
+	}
+
+	inConfigLit := map[*ast.KeyValueExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			// Mark mpibase.Config{...} literal keys for field renaming.
+			if sel, ok := node.Type.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == qualifier && sel.Sel.Name == "Config" {
+					for _, elt := range node.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							inConfigLit[kv] = true
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := node.X.(*ast.Ident)
+			if !ok || id.Name != qualifier {
+				return true
+			}
+			id.Name = "pure"
+			if to, ok := renamedIdents[node.Sel.Name]; ok {
+				node.Sel.Name = to
+			}
+			switch node.Sel.Name {
+			case "Run", "Config", "Rank", "Comm", "Request",
+				"Sum", "Prod", "Min", "Max",
+				"Float64", "Float32", "Int64", "Int32", "Uint8",
+				"Op", "DType":
+				// Known-compatible surface.
+			default:
+				warnings = append(warnings,
+					fmt.Sprintf("%s: pure.%s has no verified mpibase equivalent; review manually",
+						fset.Position(node.Pos()), node.Sel.Name))
+			}
+		}
+		return true
+	})
+	// Rename Config literal fields.
+	for kv := range inConfigLit {
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			if to, ok := renamedFields[key.Name]; ok {
+				key.Name = to
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, file); err != nil {
+		return nil, nil, fmt.Errorf("mpi2pure: formatting: %w", err)
+	}
+	return buf.Bytes(), warnings, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout; single input only)")
+	write := flag.Bool("w", false, "rewrite files in place")
+	recurse := flag.Bool("r", false, "treat arguments as directories and translate every mpibase-using .go file under them (requires -w)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mpi2pure [-o out.go] in.go | mpi2pure -w [-r] path ...")
+		os.Exit(2)
+	}
+	if *recurse && !*write {
+		fmt.Fprintln(os.Stderr, "mpi2pure: -r requires -w")
+		os.Exit(2)
+	}
+
+	var files []string
+	if *recurse {
+		for _, root := range flag.Args() {
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+					if src, rerr := os.ReadFile(path); rerr == nil && bytes.Contains(src, []byte(`"repro/mpibase"`)) {
+						files = append(files, path)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpi2pure: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		files = flag.Args()
+	}
+	if !*write && len(files) != 1 {
+		fmt.Fprintln(os.Stderr, "mpi2pure: exactly one input file unless -w is set")
+		os.Exit(2)
+	}
+
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpi2pure: %v\n", err)
+			os.Exit(1)
+		}
+		translated, warnings, err := Translate(file, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+		switch {
+		case *write:
+			if err := os.WriteFile(file, translated, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mpi2pure: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "rewrote %s\n", file)
+		case *out != "":
+			if err := os.WriteFile(*out, translated, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mpi2pure: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			os.Stdout.Write(translated)
+		}
+	}
+}

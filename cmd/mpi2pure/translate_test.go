@@ -1,0 +1,117 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const sample = `package main
+
+import (
+	"fmt"
+
+	"repro/mpibase"
+)
+
+func main() {
+	cfg := mpibase.Config{NRanks: 4, EagerMax: 4096}
+	err := mpibase.Run(cfg, func(p *mpibase.Proc) {
+		c := p.World()
+		if p.ID() == 0 {
+			c.Send([]byte("hi"), 1, 0)
+		} else if p.ID() == 1 {
+			buf := make([]byte, 8)
+			c.Recv(buf, 0, 0)
+		}
+		c.Barrier()
+		sum := c.AllreduceFloat64(1, mpibase.Sum)
+		sub := c.Split(p.ID()%2, p.ID())
+		_ = sub
+		var req *mpibase.Request
+		_ = req
+		fmt.Println(sum)
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+`
+
+func TestTranslateSample(t *testing.T) {
+	out, warnings, err := Translate("sample.go", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	for _, want := range []string{
+		`"repro/pure"`,
+		"pure.Config{NRanks: 4, SmallMsgMax: 4096}",
+		"pure.Run(cfg, func(p *pure.Rank)",
+		"pure.Sum",
+		"*pure.Request",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("translated output missing %q:\n%s", want, got)
+		}
+	}
+	for _, absent := range []string{"mpibase", "EagerMax", "Proc"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("translated output still contains %q:\n%s", absent, got)
+		}
+	}
+	if len(warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", warnings)
+	}
+	// The output must be valid Go.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
+		t.Fatalf("translated output does not parse: %v", err)
+	}
+}
+
+func TestTranslateAliasedImport(t *testing.T) {
+	src := `package main
+
+import mb "repro/mpibase"
+
+func run() {
+	_ = mb.Run(mb.Config{NRanks: 2}, func(p *mb.Proc) {})
+}
+`
+	out, _, err := Translate("aliased.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	if !strings.Contains(got, "pure.Run(pure.Config{NRanks: 2}, func(p *pure.Rank)") {
+		t.Errorf("aliased translation wrong:\n%s", got)
+	}
+}
+
+func TestTranslateWarnsOnUnknownAPI(t *testing.T) {
+	src := `package main
+
+import "repro/mpibase"
+
+var x = mpibase.DefaultEagerMax
+var _ = mpibase.Run
+`
+	_, warnings, err := Translate("warn.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "DefaultEagerMax") {
+		t.Errorf("warnings = %v, want one about DefaultEagerMax", warnings)
+	}
+}
+
+func TestTranslateRejectsNonMPIFile(t *testing.T) {
+	if _, _, err := Translate("x.go", []byte("package main\n")); err == nil {
+		t.Error("file without mpibase import should be rejected")
+	}
+	if _, _, err := Translate("x.go", []byte("not go")); err == nil {
+		t.Error("unparseable file should be rejected")
+	}
+}

@@ -1,0 +1,64 @@
+// Command purebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	purebench                 # run everything at full scale
+//	purebench -quick          # trimmed scales (seconds instead of minutes)
+//	purebench -exp fig4,fig7a # specific experiments
+//	purebench -csv out/       # also write one CSV per experiment
+//
+// Experiment ids: sec2 fig4 fig5a fig5b fig5c fig5d fig6 fig6real fig7a
+// fig7b fig7breal fig7c appA appC ablation-pbq.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run trimmed scales")
+	exps := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	flag.Parse()
+
+	var tables []bench.Table
+	if *exps == "all" {
+		tables = bench.All(*quick)
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			run := bench.ByID(id)
+			if run == nil {
+				fmt.Fprintf(os.Stderr, "purebench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			tables = append(tables, run(*quick))
+		}
+	}
+
+	for _, tb := range tables {
+		tb.Render(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "purebench: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, tb.ID+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "purebench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tb.CSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "purebench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

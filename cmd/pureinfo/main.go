@@ -1,0 +1,71 @@
+// Command pureinfo prints the virtual cluster topology, rank placement, and
+// cost-model tables the runtime and simulator operate with — the equivalent
+// of the paper's debugging/profiling modes for inspecting rank maps.
+//
+// Usage:
+//
+//	pureinfo -ranks 128 -rpn 64          # SMP placement over Cori nodes
+//	pureinfo -ranks 8 -rpn 4 -policy rr  # round-robin placement
+//	pureinfo -costs                      # dump the calibrated cost model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/desmodels"
+	"repro/internal/topology"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 64, "number of ranks")
+	rpn := flag.Int("rpn", 0, "ranks per node (0 = fill)")
+	policy := flag.String("policy", "smp", "placement policy: smp or rr")
+	showCosts := flag.Bool("costs", false, "print the DES cost model")
+	flag.Parse()
+
+	if *showCosts {
+		fmt.Printf("calibrated cost model (ns / ns-per-byte):\n%+v\n", desmodels.Paper())
+		return
+	}
+
+	pol := topology.SMP
+	if *policy == "rr" {
+		pol = topology.RoundRobin
+	}
+	eff := *rpn
+	if eff <= 0 {
+		eff = 64
+	}
+	nodes := (*ranks + eff - 1) / eff
+	spec := topology.CoriSpec(nodes)
+	place, err := topology.NewPlacement(spec, *ranks, *rpn, pol, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pureinfo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster: %d Cori nodes (%d sockets x %d cores x %d HT = %d hwthreads/node)\n",
+		spec.Nodes, spec.SocketsPerNode, spec.CoresPerSocket, spec.ThreadsPerCore, spec.HWThreadsPerNode())
+	fmt.Printf("ranks: %d, nodes used: %d\n\n", *ranks, place.NodesUsed())
+	fmt.Println("rank  node  socket  core  thread  local-idx  leader")
+	limit := *ranks
+	if limit > 128 {
+		limit = 128
+	}
+	for r := 0; r < limit; r++ {
+		h := place.Seat(r)
+		fmt.Printf("%4d  %4d  %6d  %4d  %6d  %9d  %6d\n",
+			r, h.Node, h.Socket, h.Core, h.Thread, place.LocalIndex(r), place.NodeLeader(r))
+	}
+	if limit < *ranks {
+		fmt.Printf("... (%d more ranks)\n", *ranks-limit)
+	}
+	fmt.Println("\npairwise locality classes (first 8 ranks):")
+	n := min(8, *ranks)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			fmt.Printf("  %d<->%d: %v\n", a, b, place.DistanceBetween(a, b))
+		}
+	}
+}

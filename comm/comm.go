@@ -1,0 +1,280 @@
+// Package comm defines the small backend-neutral interface the mini-apps in
+// this repository (CoMD, miniAMR, NAS DT, the §2 stencil) are written
+// against, with adapters for both runtimes:
+//
+//   - RunPure launches the app over package pure (thread-based ranks,
+//     lock-free intra-node messaging, SPTD collectives, Pure Tasks);
+//   - RunMPI launches the identical app over package mpibase (the
+//     process-semantics MPI baseline; tasks execute serially on the owner).
+//
+// This mirrors the paper's methodology: the same application source, ported
+// between MPI and Pure with only the communication calls (and optional
+// tasks) changing.  The cmd/mpi2pure translator rewrites the explicit
+// mpibase form into the pure form mechanically.
+package comm
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/collective"
+	"repro/mpibase"
+	"repro/pure"
+)
+
+// Op is a reduction operator.
+type Op = collective.Op
+
+// DType is a payload element type.
+type DType = collective.DType
+
+// Reduction operators and element types.
+const (
+	Sum  = collective.OpSum
+	Prod = collective.OpProd
+	Min  = collective.OpMin
+	Max  = collective.OpMax
+
+	Float64 = collective.Float64
+	Int64   = collective.Int64
+)
+
+// Request is an opaque in-flight nonblocking operation.
+type Request any
+
+// Task is an executable chunk-parallel region.  Over Pure it may be stolen
+// by blocked ranks; over the MPI baseline it runs serially on the owner
+// (processes cannot share work).
+type Task interface {
+	// Execute runs every chunk exactly once and returns when all are done.
+	Execute(extra any)
+	// AlignedIdxRange maps a chunk range to a cacheline-aligned element
+	// index range over n elements of elemSize bytes.
+	AlignedIdxRange(n int64, elemSize int, startChunk, endChunk int64) (lo, hi int64)
+}
+
+// Backend is one rank's communication context.
+type Backend interface {
+	Rank() int
+	Size() int
+	Send(buf []byte, dst, tag int)
+	Recv(buf []byte, src, tag int) int
+	// Sendrecv pairs a send and a receive without deadlock risk.
+	Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) int
+	Isend(buf []byte, dst, tag int) Request
+	Irecv(buf []byte, src, tag int) Request
+	Wait(req Request) int
+	Waitall(reqs []Request)
+	Barrier()
+	Allreduce(in, out []byte, op Op, dt DType)
+	Bcast(buf []byte, root int)
+	// Split partitions the communicator; negative color opts out (nil).
+	Split(color, key int) Backend
+	// NewTask defines a chunk-parallel region with nchunks chunks.
+	NewTask(nchunks int, body func(start, end int64, extra any)) Task
+	// SupportsTasks reports whether Execute may be assisted by other ranks.
+	SupportsTasks() bool
+}
+
+// ---- Typed helpers over any backend ----
+
+// AllreduceFloat64 folds one float64 across the communicator.
+func AllreduceFloat64(b Backend, v float64, op Op) float64 {
+	in := make([]byte, 8)
+	binary.LittleEndian.PutUint64(in, math.Float64bits(v))
+	out := make([]byte, 8)
+	b.Allreduce(in, out, op, Float64)
+	return math.Float64frombits(binary.LittleEndian.Uint64(out))
+}
+
+// AllreduceInt64 folds one int64 across the communicator.
+func AllreduceInt64(b Backend, v int64, op Op) int64 {
+	in := make([]byte, 8)
+	binary.LittleEndian.PutUint64(in, uint64(v))
+	out := make([]byte, 8)
+	b.Allreduce(in, out, op, Int64)
+	return int64(binary.LittleEndian.Uint64(out))
+}
+
+// AllreduceFloat64s element-wise folds a vector across the communicator.
+func AllreduceFloat64s(b Backend, in, out []float64, op Op) {
+	ib := make([]byte, 8*len(in))
+	for i, v := range in {
+		binary.LittleEndian.PutUint64(ib[i*8:], math.Float64bits(v))
+	}
+	ob := make([]byte, len(ib))
+	b.Allreduce(ib, ob, op, Float64)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(ob[i*8:]))
+	}
+}
+
+// SendFloat64s / RecvFloat64s move float64 vectors point-to-point.
+func SendFloat64s(b Backend, vals []float64, dst, tag int) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	b.Send(buf, dst, tag)
+}
+
+// RecvFloat64s receives exactly len(vals) float64s.
+func RecvFloat64s(b Backend, vals []float64, src, tag int) {
+	buf := make([]byte, 8*len(vals))
+	n := b.Recv(buf, src, tag)
+	for i := 0; i < n/8; i++ {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+}
+
+// ---- Pure adapter ----
+
+type pureBackend struct {
+	r *pure.Rank
+	c *pure.Comm
+}
+
+// RunPure runs main over the Pure runtime.
+func RunPure(cfg pure.Config, main func(b Backend)) error {
+	return pure.Run(cfg, func(r *pure.Rank) {
+		main(&pureBackend{r: r, c: r.World()})
+	})
+}
+
+func (b *pureBackend) Rank() int                     { return b.c.Rank() }
+func (b *pureBackend) Size() int                     { return b.c.Size() }
+func (b *pureBackend) Send(buf []byte, dst, tag int) { b.c.Send(buf, dst, tag) }
+func (b *pureBackend) Recv(buf []byte, src, tag int) int {
+	return b.c.Recv(buf, src, tag)
+}
+func (b *pureBackend) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) int {
+	return b.c.Sendrecv(sendBuf, dst, sendTag, recvBuf, src, recvTag)
+}
+func (b *pureBackend) Isend(buf []byte, dst, tag int) Request { return b.c.Isend(buf, dst, tag) }
+func (b *pureBackend) Irecv(buf []byte, src, tag int) Request { return b.c.Irecv(buf, src, tag) }
+func (b *pureBackend) Wait(req Request) int                   { return b.c.Wait(req.(*pure.Request)) }
+func (b *pureBackend) Waitall(reqs []Request) {
+	for _, q := range reqs {
+		b.c.Wait(q.(*pure.Request))
+	}
+}
+func (b *pureBackend) Barrier() { b.c.Barrier() }
+func (b *pureBackend) Allreduce(in, out []byte, op Op, dt DType) {
+	b.c.Allreduce(in, out, op, dt)
+}
+func (b *pureBackend) Bcast(buf []byte, root int) { b.c.Bcast(buf, root) }
+func (b *pureBackend) Split(color, key int) Backend {
+	sub := b.c.Split(color, key)
+	if sub == nil {
+		return nil
+	}
+	return &pureBackend{r: b.r, c: sub}
+}
+func (b *pureBackend) NewTask(nchunks int, body func(start, end int64, extra any)) Task {
+	return &pureTask{t: b.r.NewTask(nchunks, body)}
+}
+func (b *pureBackend) SupportsTasks() bool { return true }
+
+type pureTask struct{ t *pure.Task }
+
+func (t *pureTask) Execute(extra any) { t.t.Execute(extra) }
+func (t *pureTask) AlignedIdxRange(n int64, elemSize int, s, e int64) (int64, int64) {
+	return t.t.AlignedIdxRange(n, elemSize, s, e)
+}
+
+// ---- MPI-baseline adapter ----
+
+type mpiBackend struct {
+	p *mpibase.Proc
+	c *mpibase.Comm
+}
+
+// RunMPI runs main over the mpibase baseline runtime.
+func RunMPI(cfg mpibase.Config, main func(b Backend)) error {
+	return mpibase.Run(cfg, func(p *mpibase.Proc) {
+		main(&mpiBackend{p: p, c: p.World()})
+	})
+}
+
+func (b *mpiBackend) Rank() int                     { return b.c.Rank() }
+func (b *mpiBackend) Size() int                     { return b.c.Size() }
+func (b *mpiBackend) Send(buf []byte, dst, tag int) { b.c.Send(buf, dst, tag) }
+func (b *mpiBackend) Recv(buf []byte, src, tag int) int {
+	return b.c.Recv(buf, src, tag)
+}
+func (b *mpiBackend) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) int {
+	return b.c.Sendrecv(sendBuf, dst, sendTag, recvBuf, src, recvTag)
+}
+func (b *mpiBackend) Isend(buf []byte, dst, tag int) Request { return b.c.Isend(buf, dst, tag) }
+func (b *mpiBackend) Irecv(buf []byte, src, tag int) Request { return b.c.Irecv(buf, src, tag) }
+func (b *mpiBackend) Wait(req Request) int                   { return b.c.Wait(req.(*mpibase.Request)) }
+func (b *mpiBackend) Waitall(reqs []Request) {
+	for _, q := range reqs {
+		b.c.Wait(q.(*mpibase.Request))
+	}
+}
+func (b *mpiBackend) Barrier() { b.c.Barrier() }
+func (b *mpiBackend) Allreduce(in, out []byte, op Op, dt DType) {
+	b.c.Allreduce(in, out, op, dt)
+}
+func (b *mpiBackend) Bcast(buf []byte, root int) { b.c.Bcast(buf, root) }
+func (b *mpiBackend) Split(color, key int) Backend {
+	sub := b.c.Split(color, key)
+	if sub == nil {
+		return nil
+	}
+	return &mpiBackend{p: b.p, c: sub}
+}
+func (b *mpiBackend) NewTask(nchunks int, body func(start, end int64, extra any)) Task {
+	if nchunks <= 0 {
+		nchunks = 64 // match pure's DefaultTaskChunks
+	}
+	return &serialTask{nchunks: int64(nchunks), body: body}
+}
+func (b *mpiBackend) SupportsTasks() bool { return false }
+
+// serialTask executes all chunks on the owner: an MPI process has no
+// co-resident threads to donate cycles.
+type serialTask struct {
+	nchunks int64
+	body    func(start, end int64, extra any)
+}
+
+func (t *serialTask) Execute(extra any) { t.body(0, t.nchunks, extra) }
+func (t *serialTask) AlignedIdxRange(n int64, elemSize int, s, e int64) (int64, int64) {
+	return alignedIdxRange(n, elemSize, s, e, t.nchunks)
+}
+
+// alignedIdxRange mirrors sched.AlignedIdxRange (kept local to avoid the
+// public package depending on the internal scheduler).
+func alignedIdxRange(n int64, elemSize int, startChunk, endChunk, totalChunks int64) (lo, hi int64) {
+	if totalChunks <= 0 || n <= 0 || startChunk >= totalChunks {
+		return 0, 0
+	}
+	perLine := int64(64 / elemSize)
+	if perLine < 1 {
+		perLine = 1
+	}
+	lines := (n + perLine - 1) / perLine
+	per := lines / totalChunks
+	extra := lines % totalChunks
+	lineAt := func(chunk int64) int64 {
+		if chunk > totalChunks {
+			chunk = totalChunks
+		}
+		m := chunk
+		if extra < m {
+			m = extra
+		}
+		return chunk*per + m
+	}
+	lo = lineAt(startChunk) * perLine
+	hi = lineAt(endChunk) * perLine
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

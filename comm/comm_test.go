@@ -1,0 +1,202 @@
+package comm
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/mpibase"
+	"repro/pure"
+)
+
+func init() {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+}
+
+// exercise runs the same SPMD body over both backends; it is the pattern
+// every app integration test uses.
+func exercise(t *testing.T, nranks int, body func(b Backend) float64, want float64) {
+	t.Helper()
+	results := make([]float64, nranks)
+	if err := RunPure(pure.Config{NRanks: nranks}, func(b Backend) {
+		results[b.Rank()] = body(b)
+	}); err != nil {
+		t.Fatalf("pure: %v", err)
+	}
+	for r, v := range results {
+		if v != want {
+			t.Fatalf("pure rank %d: got %v, want %v", r, v, want)
+		}
+	}
+	if err := RunMPI(mpibase.Config{NRanks: nranks}, func(b Backend) {
+		results[b.Rank()] = body(b)
+	}); err != nil {
+		t.Fatalf("mpi: %v", err)
+	}
+	for r, v := range results {
+		if v != want {
+			t.Fatalf("mpi rank %d: got %v, want %v", r, v, want)
+		}
+	}
+}
+
+func TestBackendsAgreeOnPingPongPlusAllreduce(t *testing.T) {
+	exercise(t, 4, func(b Backend) float64 {
+		var got float64
+		if b.Rank() == 0 {
+			SendFloat64s(b, []float64{10}, 1, 0)
+		} else if b.Rank() == 1 {
+			v := make([]float64, 1)
+			RecvFloat64s(b, v, 0, 0)
+			if v[0] != 10 {
+				return -1
+			}
+		}
+		b.Barrier()
+		got = AllreduceFloat64(b, 1, Sum)
+		return got
+	}, 4)
+}
+
+func TestBackendsAgreeOnVectorAllreduce(t *testing.T) {
+	exercise(t, 3, func(b Backend) float64 {
+		in := []float64{float64(b.Rank()), 2}
+		out := make([]float64, 2)
+		AllreduceFloat64s(b, in, out, Sum)
+		return out[0]*100 + out[1]
+	}, 306) // (0+1+2)*100 + 6
+}
+
+func TestBackendsAgreeOnInt64Allreduce(t *testing.T) {
+	exercise(t, 4, func(b Backend) float64 {
+		return float64(AllreduceInt64(b, int64(b.Rank()+1), Max))
+	}, 4)
+}
+
+func TestBackendsAgreeOnSplit(t *testing.T) {
+	exercise(t, 4, func(b Backend) float64 {
+		sub := b.Split(b.Rank()%2, b.Rank())
+		if sub == nil {
+			return -1
+		}
+		return AllreduceFloat64(sub, 1, Sum)
+	}, 2)
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	for _, launch := range []func(func(Backend)) error{
+		func(m func(Backend)) error { return RunPure(pure.Config{NRanks: 2}, m) },
+		func(m func(Backend)) error { return RunMPI(mpibase.Config{NRanks: 2}, m) },
+	} {
+		if err := launch(func(b Backend) {
+			color := -1
+			if b.Rank() == 0 {
+				color = 7
+			}
+			sub := b.Split(color, 0)
+			if b.Rank() == 0 && sub == nil {
+				t.Error("rank 0 expected a comm")
+			}
+			if b.Rank() == 1 && sub != nil {
+				t.Error("rank 1 expected nil")
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTasksOnBothBackends(t *testing.T) {
+	// Pure executes tasks concurrently/stolen; MPI runs them serially — both
+	// must produce identical data.
+	check := func(b Backend) float64 {
+		data := make([]float64, 256)
+		task := b.NewTask(16, nil)
+		task = b.NewTask(16, func(start, end int64, extra any) {
+			scale := extra.(float64)
+			lo, hi := task.AlignedIdxRange(256, 8, start, end)
+			for i := lo; i < hi; i++ {
+				data[i] = float64(i) * scale
+			}
+		})
+		task.Execute(2.0)
+		sum := 0.0
+		for _, v := range data {
+			sum += v
+		}
+		return sum // 2 * 255*256/2 = 65280
+	}
+	exercise(t, 2, check, 65280)
+}
+
+func TestSupportsTasksFlag(t *testing.T) {
+	if err := RunPure(pure.Config{NRanks: 1}, func(b Backend) {
+		if !b.SupportsTasks() {
+			t.Error("pure backend should support tasks")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunMPI(mpibase.Config{NRanks: 1}, func(b Backend) {
+		if b.SupportsTasks() {
+			t.Error("mpi backend should not support tasks")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingAcrossBackends(t *testing.T) {
+	exercise(t, 2, func(b Backend) float64 {
+		if b.Rank() == 0 {
+			req := b.Isend([]byte{42}, 1, 3)
+			b.Waitall([]Request{req})
+			return 42
+		}
+		buf := make([]byte, 1)
+		req := b.Irecv(buf, 0, 3)
+		if n := b.Wait(req); n != 1 {
+			return -1
+		}
+		return float64(buf[0])
+	}, 42)
+}
+
+func TestSerialTaskDefaultChunks(t *testing.T) {
+	if err := RunMPI(mpibase.Config{NRanks: 1}, func(b Backend) {
+		ran := int64(0)
+		task := b.NewTask(0, func(start, end int64, _ any) { ran += end - start })
+		task.Execute(nil)
+		if ran != 64 {
+			t.Errorf("default chunks ran %d, want 64", ran)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAcrossBackends(t *testing.T) {
+	exercise(t, 3, func(b Backend) float64 {
+		buf := make([]byte, 4)
+		if b.Rank() == 2 {
+			buf = []byte{9, 9, 9, 9}
+		}
+		b.Bcast(buf, 2)
+		return float64(buf[0])
+	}, 9)
+}
+
+func TestSendrecvAcrossBackends(t *testing.T) {
+	exercise(t, 4, func(b Backend) float64 {
+		n := b.Size()
+		next := (b.Rank() + 1) % n
+		prev := (b.Rank() + n - 1) % n
+		out := []byte{byte(b.Rank())}
+		in := make([]byte, 1)
+		if got := b.Sendrecv(out, next, 2, in, prev, 2); got != 1 {
+			return -1
+		}
+		return float64(in[0]) - float64(prev) // 0 when correct
+	}, 0)
+}

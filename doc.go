@@ -1,0 +1,17 @@
+// Package repro is a Go reproduction of "Pure: Evolving Message Passing To
+// Better Leverage Shared Memory Within Nodes" (Psota & Solar-Lezama,
+// PPoPP 2024).
+//
+// The public entry points are:
+//
+//   - pure: the Pure programming model and runtime (messaging with optional
+//     tasks);
+//   - mpibase: the MPI-style baseline runtime it is evaluated against;
+//   - comm: the backend-neutral interface the bundled mini-apps use;
+//   - cmd/purebench: regenerates every table and figure of the paper's
+//     evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.  The root bench_test.go
+// exposes one testing.B benchmark per paper table/figure.
+package repro

@@ -1,0 +1,54 @@
+// Quickstart: the smallest complete Pure program — point-to-point messages,
+// a barrier, a typed all-reduce, and a communicator split.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pure"
+)
+
+func main() {
+	const nranks = 8
+	err := pure.Run(pure.Config{NRanks: nranks}, func(r *pure.Rank) {
+		world := r.World()
+
+		// Ring-pass a token: each rank sends to its right neighbour.
+		token := []byte{byte(r.ID())}
+		next := (r.ID() + 1) % nranks
+		prev := (r.ID() + nranks - 1) % nranks
+		got := make([]byte, 1)
+		if r.ID()%2 == 0 {
+			world.Send(token, next, 0)
+			world.Recv(got, prev, 0)
+		} else {
+			world.Recv(got, prev, 0)
+			world.Send(token, next, 0)
+		}
+		if got[0] != byte(prev) {
+			log.Fatalf("rank %d: got token %d, want %d", r.ID(), got[0], prev)
+		}
+
+		world.Barrier()
+
+		// Typed collective: sum the rank ids.
+		sum := world.AllreduceFloat64(float64(r.ID()), pure.Sum)
+		if r.ID() == 0 {
+			fmt.Printf("sum of ranks 0..%d = %v\n", nranks-1, sum)
+		}
+
+		// Split into even/odd sub-communicators and reduce within each.
+		sub := world.Split(r.ID()%2, r.ID())
+		subSum := sub.AllreduceFloat64(float64(r.ID()), pure.Sum)
+		if sub.Rank() == 0 {
+			fmt.Printf("parity %d sub-communicator (size %d): sum = %v\n",
+				r.ID()%2, sub.Size(), subSum)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,565 @@
+// Package comd is a Go port of the CoMD molecular-dynamics proxy app
+// (ECP proxy suite) used in the paper's evaluation (§5.2), written against
+// the backend-neutral comm interface so the identical source runs over both
+// the Pure runtime and the MPI baseline.
+//
+// The physics is a cell-list classical MD step in the CoMD mold: atoms on a
+// cubic lattice interact through a truncated Lennard-Jones pair potential
+// (CoMD's EAM variant has the same communication structure) plus a harmonic
+// tether to their lattice site that keeps the crystal bound, advanced with
+// velocity Verlet.  Each rank owns a box of link cells; every step the rank
+// exchanges boundary-cell atom positions with its six face neighbours in
+// the standard three-phase (x, then y, then z) halo exchange, which also
+// populates edge and corner ghosts, then computes forces over its own
+// cells.  Periodically the ranks all-reduce the system energies, CoMD's
+// collective traffic.
+//
+// Two imbalance variants reproduce the paper's §5.2.1/§5.2.2 experiments:
+//
+//   - Voids: spheres of atoms elided at initialization (following Pearce et
+//     al., the paper's citation [42]) creating *static* load imbalance;
+//   - Hotspot: a sphere moving through the domain inside which per-atom
+//     force work is multiplied, creating *dynamic* imbalance.
+//
+// When Params.UseTask is set the force loop runs as a Pure Task chunked
+// over cells, so ranks blocked in the halo exchange steal force work — the
+// paper's eamForce task.  Force accumulation is written one-owner-per-cell
+// (no Newton's-third-law halving), so chunks never write shared locations.
+package comd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/comm"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+func (a Vec3) add(b Vec3) Vec3      { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+func (a Vec3) sub(b Vec3) Vec3      { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+func (a Vec3) scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+func (a Vec3) norm2() float64       { return a.X*a.X + a.Y*a.Y + a.Z*a.Z }
+
+// Sphere defines a spherical region in global coordinates.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+func (s Sphere) contains(p Vec3) bool { return p.sub(s.Center).norm2() <= s.Radius*s.Radius }
+
+// Hotspot is a moving region of inflated force cost (dynamic imbalance).
+type Hotspot struct {
+	Sphere
+	Velocity Vec3 // displacement per step (wraps periodically)
+	// Factor multiplies the synthetic per-pair work inside the sphere.
+	Factor int
+}
+
+// Params configures a CoMD run.
+type Params struct {
+	// Grid is the rank decomposition (px, py, pz); px*py*pz must equal the
+	// communicator size.
+	Grid [3]int
+	// CellsPerRank is the link-cell box each rank owns (per dimension).
+	CellsPerRank [3]int
+	// AtomsPerCell is the initial atoms per cell (CoMD default: 4 for FCC).
+	AtomsPerCell int
+	// Steps is the number of timesteps (paper: 150).
+	Steps int
+	// Dt is the integration timestep.
+	Dt float64
+	// ExtraWork adds synthetic flops per pair interaction, scaling the
+	// compute/communication ratio without growing the problem.
+	ExtraWork int
+	// PrintRate is the energy all-reduce period in steps (0 = every 10).
+	PrintRate int
+	// UseTask runs the force loop as a Pure Task (ignored by backends
+	// without task support, where it runs serially).
+	UseTask bool
+	// TaskChunks is the force task's chunk count (0 = one per 4 cells).
+	TaskChunks int
+	// Voids elide atoms at initialization (static imbalance).
+	Voids []Sphere
+	// Hotspot moves a region of inflated work through the domain (dynamic
+	// imbalance).
+	Hotspot *Hotspot
+}
+
+// Result carries the run's invariants for cross-backend verification.
+type Result struct {
+	Atoms     int64   // global atom count (conserved)
+	Kinetic   float64 // final kinetic energy (global)
+	Potential float64 // final potential energy (global)
+	Checksum  float64 // global sum of |position| components
+	Steps     int
+}
+
+const (
+	cellSize  = 1.0 // cutoff == cell size (link-cell condition)
+	sigma     = 0.4
+	epsilonLJ = 1e-4
+	springK   = 0.05
+	mass      = 1.0
+)
+
+// sim is one rank's simulation state.
+type sim struct {
+	b comm.Backend
+	p Params
+
+	coords     [3]int // this rank's grid coordinates
+	origin     Vec3   // global coordinate of the rank box's low corner
+	nx, ny, nz int
+
+	// cells is the extended (ghosted) cell array, dims (nx+2)(ny+2)(nz+2);
+	// interior cells are [1..nx] etc.
+	cells []cellData
+
+	interior []int // indices of interior cells (task chunk domain)
+
+	potential float64
+	// potPerCell accumulates per-cell potential so the task-parallel force
+	// loop writes disjoint slots (summed after the task completes).
+	potPerCell []float64
+
+	task comm.Task
+}
+
+type cellData struct {
+	pos  []Vec3
+	vel  []Vec3
+	frc  []Vec3
+	site []Vec3
+}
+
+// Run executes CoMD over the backend and returns the global invariants.
+func Run(b comm.Backend, p Params) (Result, error) {
+	if p.Grid[0]*p.Grid[1]*p.Grid[2] != b.Size() {
+		return Result{}, fmt.Errorf("comd: grid %v does not match %d ranks", p.Grid, b.Size())
+	}
+	if p.AtomsPerCell <= 0 || p.Steps < 0 {
+		return Result{}, fmt.Errorf("comd: bad params %+v", p)
+	}
+	if p.CellsPerRank[0] < 1 || p.CellsPerRank[1] < 1 || p.CellsPerRank[2] < 1 {
+		return Result{}, fmt.Errorf("comd: cells per rank must be >= 1, got %v", p.CellsPerRank)
+	}
+	if p.Dt == 0 {
+		p.Dt = 0.001
+	}
+	if p.PrintRate <= 0 {
+		p.PrintRate = 10
+	}
+	s := newSim(b, p)
+	return s.run()
+}
+
+func newSim(b comm.Backend, p Params) *sim {
+	s := &sim{b: b, p: p, nx: p.CellsPerRank[0], ny: p.CellsPerRank[1], nz: p.CellsPerRank[2]}
+	r := b.Rank()
+	s.coords = [3]int{
+		r % p.Grid[0],
+		(r / p.Grid[0]) % p.Grid[1],
+		r / (p.Grid[0] * p.Grid[1]),
+	}
+	s.origin = Vec3{
+		float64(s.coords[0]*s.nx) * cellSize,
+		float64(s.coords[1]*s.ny) * cellSize,
+		float64(s.coords[2]*s.nz) * cellSize,
+	}
+	s.cells = make([]cellData, (s.nx+2)*(s.ny+2)*(s.nz+2))
+	s.potPerCell = make([]float64, len(s.cells))
+	for iz := 1; iz <= s.nz; iz++ {
+		for iy := 1; iy <= s.ny; iy++ {
+			for ix := 1; ix <= s.nx; ix++ {
+				ci := s.cellIndex(ix, iy, iz)
+				s.interior = append(s.interior, ci)
+				s.initCell(ci, ix, iy, iz)
+			}
+		}
+	}
+	if p.UseTask {
+		chunks := p.TaskChunks
+		if chunks <= 0 {
+			chunks = (len(s.interior) + 3) / 4
+		}
+		s.task = b.NewTask(chunks, func(start, end int64, extra any) {
+			hs := extra.(*Hotspot) // may point to a zero-factor hotspot
+			n := int64(len(s.interior))
+			lo := start * n / int64(chunks)
+			hi := end * n / int64(chunks)
+			for k := lo; k < hi; k++ {
+				s.forceCell(s.interior[k], hs)
+			}
+		})
+	}
+	return s
+}
+
+func (s *sim) cellIndex(ix, iy, iz int) int {
+	return (iz*(s.ny+2)+iy)*(s.nx+2) + ix
+}
+
+// initCell lays AtomsPerCell atoms on a deterministic sub-lattice of the
+// cell, skipping any that fall inside a void sphere.
+func (s *sim) initCell(ci, ix, iy, iz int) {
+	c := &s.cells[ci]
+	base := Vec3{
+		s.origin.X + float64(ix-1)*cellSize,
+		s.origin.Y + float64(iy-1)*cellSize,
+		s.origin.Z + float64(iz-1)*cellSize,
+	}
+	for a := 0; a < s.p.AtomsPerCell; a++ {
+		// Deterministic jittered sub-lattice positions.
+		f := float64(a+1) / float64(s.p.AtomsPerCell+1)
+		pos := base.add(Vec3{f * cellSize, (1 - f) * cellSize * 0.9, (0.3 + 0.5*f) * cellSize})
+		skip := false
+		for _, v := range s.p.Voids {
+			if v.contains(pos) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		c.pos = append(c.pos, pos)
+		c.site = append(c.site, pos)
+		// Deterministic small initial velocity (temperature analogue).
+		c.vel = append(c.vel, Vec3{
+			0.01 * math.Sin(pos.X*37+pos.Y*11),
+			0.01 * math.Cos(pos.Y*23+pos.Z*7),
+			0.01 * math.Sin(pos.Z*31+pos.X*13),
+		})
+		c.frc = append(c.frc, Vec3{})
+	}
+}
+
+// run advances the simulation and returns the invariants.
+func (s *sim) run() (Result, error) {
+	zeroHot := &Hotspot{}
+	s.haloExchange()
+	s.computeForces(zeroHot)
+	for step := 0; step < s.p.Steps; step++ {
+		hs := s.hotspotAt(step)
+		s.kick(0.5 * s.p.Dt)
+		s.drift(s.p.Dt)
+		s.haloExchange()
+		s.computeForces(hs)
+		s.kick(0.5 * s.p.Dt)
+		if (step+1)%s.p.PrintRate == 0 {
+			// CoMD prints the global energies: two-element all-reduce.
+			out := make([]float64, 2)
+			comm.AllreduceFloat64s(s.b, []float64{s.kinetic(), s.potential}, out, comm.Sum)
+		}
+	}
+	ke := comm.AllreduceFloat64(s.b, s.kinetic(), comm.Sum)
+	pe := comm.AllreduceFloat64(s.b, s.potential, comm.Sum)
+	atoms := comm.AllreduceInt64(s.b, s.localAtoms(), comm.Sum)
+	sum := 0.0
+	for _, ci := range s.interior {
+		for _, p := range s.cells[ci].pos {
+			sum += math.Abs(p.X) + math.Abs(p.Y) + math.Abs(p.Z)
+		}
+	}
+	checksum := comm.AllreduceFloat64(s.b, sum, comm.Sum)
+	return Result{Atoms: atoms, Kinetic: ke, Potential: pe, Checksum: checksum, Steps: s.p.Steps}, nil
+}
+
+func (s *sim) hotspotAt(step int) *Hotspot {
+	if s.p.Hotspot == nil {
+		return &Hotspot{}
+	}
+	h := *s.p.Hotspot
+	// Move the hotspot with periodic wraparound over the global domain.
+	gx := float64(s.p.Grid[0]*s.nx) * cellSize
+	gy := float64(s.p.Grid[1]*s.ny) * cellSize
+	gz := float64(s.p.Grid[2]*s.nz) * cellSize
+	h.Center = Vec3{
+		math.Mod(h.Center.X+h.Velocity.X*float64(step)+10*gx, gx),
+		math.Mod(h.Center.Y+h.Velocity.Y*float64(step)+10*gy, gy),
+		math.Mod(h.Center.Z+h.Velocity.Z*float64(step)+10*gz, gz),
+	}
+	return &h
+}
+
+func (s *sim) localAtoms() int64 {
+	n := int64(0)
+	for _, ci := range s.interior {
+		n += int64(len(s.cells[ci].pos))
+	}
+	return n
+}
+
+func (s *sim) kinetic() float64 {
+	ke := 0.0
+	for _, ci := range s.interior {
+		for _, v := range s.cells[ci].vel {
+			ke += 0.5 * mass * v.norm2()
+		}
+	}
+	return ke
+}
+
+func (s *sim) kick(dt float64) {
+	for _, ci := range s.interior {
+		c := &s.cells[ci]
+		for i := range c.vel {
+			c.vel[i] = c.vel[i].add(c.frc[i].scale(dt / mass))
+		}
+	}
+}
+
+func (s *sim) drift(dt float64) {
+	for _, ci := range s.interior {
+		c := &s.cells[ci]
+		for i := range c.pos {
+			c.pos[i] = c.pos[i].add(c.vel[i].scale(dt))
+		}
+	}
+}
+
+// computeForces runs the force kernel over all interior cells, as a Pure
+// Task when configured (the paper's eamForce extraction) or a plain loop.
+func (s *sim) computeForces(hs *Hotspot) {
+	if s.task != nil {
+		s.task.Execute(hs)
+	} else {
+		for _, ci := range s.interior {
+			s.forceCell(ci, hs)
+		}
+	}
+	// Fold the per-cell potentials (task chunks wrote disjoint slots).
+	pot := 0.0
+	for _, ci := range s.interior {
+		pot += s.potPerCell[ci]
+	}
+	s.potential = pot
+}
+
+// forceCell computes forces on every atom of one cell from atoms in the 27
+// surrounding cells (including ghosts).  Only this cell's atoms are
+// written, so concurrent chunks are race-free.
+func (s *sim) forceCell(ci int, hs *Hotspot) {
+	nxy := (s.nx + 2) * (s.ny + 2)
+	ix := ci % (s.nx + 2)
+	iy := (ci / (s.nx + 2)) % (s.ny + 2)
+	iz := ci / nxy
+	c := &s.cells[ci]
+	pot := 0.0
+	cut2 := cellSize * cellSize
+	for i := range c.pos {
+		pi := c.pos[i]
+		f := Vec3{}
+		work := 1
+		if hs.Factor > 1 && hs.contains(pi) {
+			work = hs.Factor
+		}
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nb := &s.cells[s.cellIndex(ix+dx, iy+dy, iz+dz)]
+					for j := range nb.pos {
+						d := pi.sub(nb.pos[j])
+						r2 := d.norm2()
+						if r2 <= 1e-12 || r2 > cut2 {
+							continue
+						}
+						// Truncated LJ 6-12 (force magnitude / r).
+						s2 := sigma * sigma / r2
+						s6 := s2 * s2 * s2
+						fmag := 24 * epsilonLJ * s6 * (2*s6 - 1) / r2
+						// Synthetic extra work (paper's knob for making the
+						// force phase dominate; burned deterministically).
+						for w := 0; w < s.p.ExtraWork*work; w++ {
+							fmag += 1e-30 * float64(w%3)
+						}
+						f = f.add(d.scale(fmag))
+						pot += 0.5 * 4 * epsilonLJ * s6 * (s6 - 1)
+					}
+				}
+			}
+		}
+		// Harmonic tether to the lattice site keeps the crystal bound (no
+		// atom migration between cells; see package comment).
+		dsite := c.site[i].sub(pi)
+		f = f.add(dsite.scale(springK))
+		pot += 0.5 * springK * dsite.norm2()
+		c.frc[i] = f
+	}
+	s.potPerCell[ci] = pot
+}
+
+// ---- Halo exchange ----
+
+// neighborRank returns the rank at grid offset (dx,dy,dz) with periodic
+// wraparound.
+func (s *sim) neighborRank(dx, dy, dz int) int {
+	px, py, pz := s.p.Grid[0], s.p.Grid[1], s.p.Grid[2]
+	x := (s.coords[0] + dx + px) % px
+	y := (s.coords[1] + dy + py) % py
+	z := (s.coords[2] + dz + pz) % pz
+	return (z*py+y)*px + x
+}
+
+// haloExchange refreshes ghost cells with neighbour boundary atoms using the
+// three-phase face exchange (x, then y, then z), which transitively fills
+// edge and corner ghosts.
+func (s *sim) haloExchange() {
+	// Phase X: send planes ix=1 and ix=nx (interior only), recv into ix=0 / nx+1.
+	s.exchangeAxis(0)
+	s.exchangeAxis(1)
+	s.exchangeAxis(2)
+}
+
+// plane returns the cell indices of the plane at the given coordinate along
+// axis, spanning the full extended range of the other two axes for phases
+// that forward ghosts.
+func (s *sim) plane(axis, at int) []int {
+	var out []int
+	switch axis {
+	case 0:
+		for iz := 0; iz <= s.nz+1; iz++ {
+			for iy := 0; iy <= s.ny+1; iy++ {
+				out = append(out, s.cellIndex(at, iy, iz))
+			}
+		}
+	case 1:
+		for iz := 0; iz <= s.nz+1; iz++ {
+			for ix := 0; ix <= s.nx+1; ix++ {
+				out = append(out, s.cellIndex(ix, at, iz))
+			}
+		}
+	default:
+		for iy := 0; iy <= s.ny+1; iy++ {
+			for ix := 0; ix <= s.nx+1; ix++ {
+				out = append(out, s.cellIndex(ix, iy, at))
+			}
+		}
+	}
+	return out
+}
+
+// exchangeAxis swaps both faces along one axis with the +/- neighbours.
+// Tags: 100+axis*4 .. so each direction has a distinct stream.
+func (s *sim) exchangeAxis(axis int) {
+	hiAt := []int{s.nx, s.ny, s.nz}[axis]
+	var loDir, hiDir [3]int
+	loDir[axis] = -1
+	hiDir[axis] = 1
+	loRank := s.neighborRank(loDir[0], loDir[1], loDir[2])
+	hiRank := s.neighborRank(hiDir[0], hiDir[1], hiDir[2])
+	baseTag := 100 + axis*4
+
+	sendLo := s.packPlane(s.plane(axis, 1))
+	sendHi := s.packPlane(s.plane(axis, hiAt))
+
+	// Ghosts received across the global periodic boundary must be shifted by
+	// the domain extent so distances are computed in our local frame.
+	extent := [3]float64{
+		float64(s.p.Grid[0]*s.nx) * cellSize,
+		float64(s.p.Grid[1]*s.ny) * cellSize,
+		float64(s.p.Grid[2]*s.nz) * cellSize,
+	}[axis]
+	var loShift, hiShift Vec3
+	if s.coords[axis] == 0 {
+		loShift = axisVec(axis, -extent) // low neighbour wraps from the high end
+	}
+	if s.coords[axis] == s.p.Grid[axis]-1 {
+		hiShift = axisVec(axis, +extent)
+	}
+
+	if loRank == s.b.Rank() && hiRank == s.b.Rank() {
+		// Single rank along this axis: periodic self-wrap, no messages.
+		s.unpackPlane(s.plane(axis, hiAt+1), sendLo, axisVec(axis, +extent))
+		s.unpackPlane(s.plane(axis, 0), sendHi, axisVec(axis, -extent))
+		return
+	}
+	// Exchange sizes first (the payload sizes vary with atom counts), then
+	// payloads; nonblocking receives avoid head-to-head deadlock.
+	recvLoLen, recvHiLen := s.exchangeSizes(len(sendLo), len(sendHi), loRank, hiRank, baseTag)
+	recvLo := make([]byte, recvLoLen)
+	recvHi := make([]byte, recvHiLen)
+	reqs := []comm.Request{
+		s.b.Irecv(recvLo, loRank, baseTag+2),
+		s.b.Irecv(recvHi, hiRank, baseTag+3),
+	}
+	s.b.Send(sendLo, loRank, baseTag+3) // our low face is their high ghost
+	s.b.Send(sendHi, hiRank, baseTag+2)
+	s.b.Waitall(reqs)
+	s.unpackPlane(s.plane(axis, 0), recvLo, loShift)
+	s.unpackPlane(s.plane(axis, hiAt+1), recvHi, hiShift)
+}
+
+// axisVec returns a vector with v in the given axis component.
+func axisVec(axis int, v float64) Vec3 {
+	switch axis {
+	case 0:
+		return Vec3{X: v}
+	case 1:
+		return Vec3{Y: v}
+	default:
+		return Vec3{Z: v}
+	}
+}
+
+func (s *sim) exchangeSizes(loLen, hiLen, loRank, hiRank, baseTag int) (int, int) {
+	var lo8, hi8 [8]byte
+	binary.LittleEndian.PutUint64(lo8[:], uint64(loLen))
+	binary.LittleEndian.PutUint64(hi8[:], uint64(hiLen))
+	inLo := make([]byte, 8)
+	inHi := make([]byte, 8)
+	reqs := []comm.Request{
+		s.b.Irecv(inLo, loRank, baseTag),
+		s.b.Irecv(inHi, hiRank, baseTag+1),
+	}
+	s.b.Send(lo8[:], loRank, baseTag+1)
+	s.b.Send(hi8[:], hiRank, baseTag)
+	s.b.Waitall(reqs)
+	return int(binary.LittleEndian.Uint64(inLo)), int(binary.LittleEndian.Uint64(inHi))
+}
+
+// packPlane serializes the plane's cells: per cell a count, then positions.
+func (s *sim) packPlane(cells []int) []byte {
+	n := 0
+	for _, ci := range cells {
+		n += 8 + 24*len(s.cells[ci].pos)
+	}
+	buf := make([]byte, n)
+	off := 0
+	for _, ci := range cells {
+		c := &s.cells[ci]
+		binary.LittleEndian.PutUint64(buf[off:], uint64(len(c.pos)))
+		off += 8
+		for _, p := range c.pos {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(p.X))
+			binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(p.Y))
+			binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(p.Z))
+			off += 24
+		}
+	}
+	return buf
+}
+
+// unpackPlane fills ghost cells from a packed plane, applying the periodic
+// shift to every atom.
+func (s *sim) unpackPlane(cells []int, buf []byte, shift Vec3) {
+	off := 0
+	for _, ci := range cells {
+		c := &s.cells[ci]
+		cnt := int(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		c.pos = c.pos[:0]
+		for a := 0; a < cnt; a++ {
+			c.pos = append(c.pos, Vec3{
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])) + shift.X,
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])) + shift.Y,
+				math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])) + shift.Z,
+			})
+			off += 24
+		}
+	}
+}

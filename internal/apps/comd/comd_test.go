@@ -1,0 +1,212 @@
+package comd
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/comm"
+	"repro/mpibase"
+	"repro/pure"
+)
+
+func init() {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+}
+
+func baseParams(grid [3]int) Params {
+	return Params{
+		Grid:         grid,
+		CellsPerRank: [3]int{3, 3, 3},
+		AtomsPerCell: 3,
+		Steps:        8,
+		PrintRate:    4,
+	}
+}
+
+// runBoth executes the same configuration over both backends and returns the
+// two results.
+func runBoth(t *testing.T, nranks int, p Params) (pureRes, mpiRes Result) {
+	t.Helper()
+	if err := comm.RunPure(pure.Config{NRanks: nranks}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			pureRes = res
+		}
+	}); err != nil {
+		t.Fatalf("pure: %v", err)
+	}
+	if err := comm.RunMPI(mpibase.Config{NRanks: nranks}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			mpiRes = res
+		}
+	}); err != nil {
+		t.Fatalf("mpi: %v", err)
+	}
+	return pureRes, mpiRes
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < 1e-9
+}
+
+func TestBackendsProduceIdenticalPhysics(t *testing.T) {
+	p := baseParams([3]int{2, 2, 1})
+	pr, mr := runBoth(t, 4, p)
+	if pr.Atoms != mr.Atoms || pr.Atoms == 0 {
+		t.Fatalf("atom counts differ: pure %d, mpi %d", pr.Atoms, mr.Atoms)
+	}
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: pure %v, mpi %v", pr.Checksum, mr.Checksum)
+	}
+	if !closeEnough(pr.Kinetic, mr.Kinetic) || !closeEnough(pr.Potential, mr.Potential) {
+		t.Fatalf("energies differ: pure (%v,%v), mpi (%v,%v)", pr.Kinetic, pr.Potential, mr.Kinetic, mr.Potential)
+	}
+	want := int64(4 * 27 * 3)
+	if pr.Atoms != want {
+		t.Fatalf("atoms = %d, want %d", pr.Atoms, want)
+	}
+}
+
+func TestTaskVersionMatchesSerial(t *testing.T) {
+	p := baseParams([3]int{2, 1, 1})
+	pSerial, _ := runBoth(t, 2, p)
+	p.UseTask = true
+	var pTask Result
+	if err := comm.RunPure(pure.Config{NRanks: 2}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			pTask = res
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !closeEnough(pSerial.Checksum, pTask.Checksum) {
+		t.Fatalf("task checksum %v != serial %v", pTask.Checksum, pSerial.Checksum)
+	}
+	if pSerial.Atoms != pTask.Atoms {
+		t.Fatalf("atoms differ: %d vs %d", pSerial.Atoms, pTask.Atoms)
+	}
+}
+
+func TestVoidsRemoveAtomsDeterministically(t *testing.T) {
+	p := baseParams([3]int{2, 1, 1})
+	p.Voids = []Sphere{{Center: Vec3{1.5, 1.5, 1.5}, Radius: 1.2}}
+	pr, mr := runBoth(t, 2, p)
+	if pr.Atoms != mr.Atoms {
+		t.Fatalf("void atom counts differ: %d vs %d", pr.Atoms, mr.Atoms)
+	}
+	full := int64(2 * 27 * 3)
+	if pr.Atoms >= full {
+		t.Fatalf("voids removed nothing: %d atoms", pr.Atoms)
+	}
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+}
+
+func TestHotspotKeepsPhysicsIdentical(t *testing.T) {
+	// The hotspot inflates work but must not change trajectories (the extra
+	// flops are numerically inert).
+	p := baseParams([3]int{2, 1, 1})
+	p.Steps = 4
+	base, _ := runBoth(t, 2, p)
+	p.Hotspot = &Hotspot{
+		Sphere:   Sphere{Center: Vec3{1, 1, 1}, Radius: 2},
+		Velocity: Vec3{0.5, 0, 0},
+		Factor:   4,
+	}
+	p.ExtraWork = 2
+	hot, hotMPI := runBoth(t, 2, p)
+	if !closeEnough(base.Checksum, hot.Checksum) {
+		t.Fatalf("hotspot changed physics: %v vs %v", base.Checksum, hot.Checksum)
+	}
+	if !closeEnough(hot.Checksum, hotMPI.Checksum) {
+		t.Fatalf("hotspot backends differ: %v vs %v", hot.Checksum, hotMPI.Checksum)
+	}
+}
+
+func TestSingleRankSelfWrap(t *testing.T) {
+	p := baseParams([3]int{1, 1, 1})
+	pr, mr := runBoth(t, 1, p)
+	if pr.Atoms != 81 || mr.Atoms != 81 {
+		t.Fatalf("atoms = %d / %d, want 81", pr.Atoms, mr.Atoms)
+	}
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+}
+
+func Test3DGridDecomposition(t *testing.T) {
+	p := baseParams([3]int{2, 2, 2})
+	p.CellsPerRank = [3]int{2, 2, 2}
+	p.Steps = 4
+	pr, mr := runBoth(t, 8, p)
+	if pr.Atoms != int64(8*8*3) || !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("3d: atoms=%d checksums %v vs %v", pr.Atoms, pr.Checksum, mr.Checksum)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if err := comm.RunPure(pure.Config{NRanks: 2}, func(b comm.Backend) {
+		if _, err := Run(b, Params{Grid: [3]int{1, 1, 1}, CellsPerRank: [3]int{2, 2, 2}, AtomsPerCell: 1}); err == nil {
+			t.Error("grid mismatch accepted")
+		}
+		if _, err := Run(b, Params{Grid: [3]int{2, 1, 1}, CellsPerRank: [3]int{2, 2, 2}}); err == nil {
+			t.Error("zero atoms accepted")
+		}
+		if _, err := Run(b, Params{Grid: [3]int{2, 1, 1}, CellsPerRank: [3]int{0, 2, 2}, AtomsPerCell: 1}); err == nil {
+			t.Error("zero cells accepted")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyIsFinite(t *testing.T) {
+	p := baseParams([3]int{2, 1, 1})
+	pr, _ := runBoth(t, 2, p)
+	if math.IsNaN(pr.Kinetic) || math.IsInf(pr.Kinetic, 0) ||
+		math.IsNaN(pr.Potential) || math.IsInf(pr.Potential, 0) {
+		t.Fatalf("non-finite energies: %v %v", pr.Kinetic, pr.Potential)
+	}
+	if pr.Kinetic <= 0 {
+		t.Fatalf("kinetic energy %v should be positive", pr.Kinetic)
+	}
+}
+
+func TestEnergyApproximatelyConserved(t *testing.T) {
+	// Velocity Verlet on a conservative potential: total energy drift over a
+	// short run must be small relative to the total energy scale.
+	p := baseParams([3]int{2, 1, 1})
+	p.Steps = 2
+	short, _ := runBoth(t, 2, p)
+	p.Steps = 30
+	long, _ := runBoth(t, 2, p)
+	e0 := short.Kinetic + short.Potential
+	e1 := long.Kinetic + long.Potential
+	drift := math.Abs(e1-e0) / math.Max(math.Abs(e0), 1e-12)
+	t.Logf("E(2 steps)=%v E(30 steps)=%v relative drift=%.3g", e0, e1, drift)
+	if drift > 0.05 {
+		t.Errorf("energy drift %.3g exceeds 5%%: integrator or forces broken", drift)
+	}
+}

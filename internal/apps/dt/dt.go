@@ -1,0 +1,225 @@
+// Package dt is a Go analogue of the NAS DT ("data traffic") benchmark in
+// its SH (shuffle) graph topology, the configuration the paper evaluates
+// (§5.1, Figure 4): a layered communication graph with "particularly
+// unwieldy load imbalance".
+//
+// The graph has Layers layers of Width nodes; one rank per node.  Node j of
+// layer l+1 receives feature arrays from its two shuffle parents ((2j) mod W
+// and (2j+1) mod W) of layer l, combines them, applies a transform whose
+// cost varies pseudo-randomly per (node, wave) — the load imbalance — and
+// forwards the result to its two children.  Layer 0 nodes are sources
+// (generate features), the last layer are sinks (accumulate a verification
+// checksum).  Several waves stream through the pipeline per run, so
+// downstream ranks repeatedly block on upstream stragglers; with Pure Tasks
+// enabled the transform runs as a stealable chunked task, which is exactly
+// where the paper's 1.7-2.5x DT speedups come from.
+//
+// Classes follow the paper's rank counts:
+//
+//	A: 16x5  = 80 ranks     B: 24x8 = 192 ranks
+//	C: 64x7  = 448 ranks    D: 128x8 = 1024 ranks
+package dt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/comm"
+)
+
+// Params configures a DT run.
+type Params struct {
+	// Width and Layers define the shuffle graph; Width*Layers must equal the
+	// communicator size and Width must be even.
+	Width, Layers int
+	// FeatureLen is the feature-array length (elements).
+	FeatureLen int
+	// Waves is how many feature waves stream through the graph.
+	Waves int
+	// WorkScale multiplies the per-node transform cost (load imbalance knob).
+	WorkScale int
+	// UseTask runs the transform as a Pure Task.
+	UseTask bool
+	// TaskChunks is the transform task's chunk count (0 = 16).
+	TaskChunks int
+}
+
+// Class returns the paper's graph shape for a class letter (A, B, C, D) plus
+// a feature length scaled like DT's growth.
+func Class(letter byte) (Params, error) {
+	switch letter {
+	case 'S':
+		return Params{Width: 4, Layers: 3, FeatureLen: 256, Waves: 4, WorkScale: 8}, nil
+	case 'A':
+		return Params{Width: 16, Layers: 5, FeatureLen: 1024, Waves: 6, WorkScale: 16}, nil
+	case 'B':
+		return Params{Width: 24, Layers: 8, FeatureLen: 2048, Waves: 6, WorkScale: 16}, nil
+	case 'C':
+		return Params{Width: 64, Layers: 7, FeatureLen: 4096, Waves: 6, WorkScale: 16}, nil
+	case 'D':
+		return Params{Width: 128, Layers: 8, FeatureLen: 8192, Waves: 6, WorkScale: 16}, nil
+	default:
+		return Params{}, fmt.Errorf("dt: unknown class %q", letter)
+	}
+}
+
+// Result carries the verification state.
+type Result struct {
+	Checksum float64 // global sink checksum
+	Waves    int
+}
+
+// ParentsOf returns the two shuffle parents of node j (within a layer of
+// width w).
+func ParentsOf(j, w int) (int, int) { return (2 * j) % w, (2*j + 1) % w }
+
+// ChildrenOf returns the two shuffle children of node j.
+func ChildrenOf(j, w int) (int, int) {
+	if j%2 == 0 {
+		return j / 2, j/2 + w/2
+	}
+	return (j - 1) / 2, (j-1)/2 + w/2
+}
+
+// WorkCost returns the deterministic pseudo-random transform repetition
+// count for (node, wave): a heavy-tailed distribution (most nodes cheap, a
+// few very slow), the shape that makes DT's imbalance "unwieldy".
+func WorkCost(node, wave, scale int) int {
+	h := uint64(node)*0x9E3779B97F4A7C15 ^ uint64(wave)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	r := h % 16
+	cost := 1 + int(r)
+	if r >= 14 { // heavy tail: 1/8 of the work items are ~8x slower
+		cost *= 8
+	}
+	return cost * scale / 16
+}
+
+// Run executes DT over the backend.
+func Run(b comm.Backend, p Params) (Result, error) {
+	if p.Width <= 0 || p.Layers < 2 || p.Width%2 != 0 {
+		return Result{}, fmt.Errorf("dt: bad graph %dx%d", p.Width, p.Layers)
+	}
+	if p.Width*p.Layers != b.Size() {
+		return Result{}, fmt.Errorf("dt: graph %dx%d needs %d ranks, have %d", p.Width, p.Layers, p.Width*p.Layers, b.Size())
+	}
+	if p.FeatureLen <= 0 || p.Waves <= 0 {
+		return Result{}, fmt.Errorf("dt: bad feature/wave params %+v", p)
+	}
+	if p.WorkScale <= 0 {
+		p.WorkScale = 1
+	}
+	chunks := p.TaskChunks
+	if chunks <= 0 {
+		chunks = 16
+	}
+
+	rank := b.Rank()
+	w := p.Width
+	layer := rank / w
+	j := rank % w
+	node := rank
+
+	feat := make([]float64, p.FeatureLen)
+	in1 := make([]float64, p.FeatureLen)
+	in2 := make([]float64, p.FeatureLen)
+
+	// The transform: a chunked pass over the feature array repeated by the
+	// wave's work cost.  As a Pure Task its chunks are stealable.
+	type waveArgs struct{ cost int }
+	var task comm.Task
+	transformChunk := func(lo, hi int64, cost int) {
+		for rep := 0; rep < cost; rep++ {
+			for i := lo; i < hi; i++ {
+				v := feat[i]
+				feat[i] = v + math.Sqrt(math.Abs(v))*1e-6
+			}
+		}
+	}
+	if p.UseTask {
+		task = b.NewTask(chunks, func(start, end int64, extra any) {
+			n := int64(p.FeatureLen)
+			lo := start * n / int64(chunks)
+			hi := end * n / int64(chunks)
+			transformChunk(lo, hi, extra.(*waveArgs).cost)
+		})
+	}
+	transform := func(cost int) {
+		if task != nil {
+			task.Execute(&waveArgs{cost: cost})
+		} else {
+			transformChunk(0, int64(p.FeatureLen), cost)
+		}
+	}
+
+	checksum := 0.0
+	for wave := 0; wave < p.Waves; wave++ {
+		switch {
+		case layer == 0:
+			// Source: deterministic features, transform, fan out.
+			for i := range feat {
+				feat[i] = math.Sin(float64(node*131+wave*17+i)) * 0.5
+			}
+			transform(WorkCost(node, wave, p.WorkScale))
+			c1, c2 := ChildrenOf(j, w)
+			sendFeat(b, feat, (layer+1)*w+c1, wave)
+			if c2 != c1 {
+				sendFeat(b, feat, (layer+1)*w+c2, wave)
+			}
+		case layer < p.Layers-1:
+			// Interior: gather from parents, combine, transform, fan out.
+			recvWave(b, in1, in2, layer, j, w, wave)
+			for i := range feat {
+				feat[i] = 0.5 * (in1[i] + in2[i])
+			}
+			transform(WorkCost(node, wave, p.WorkScale))
+			c1, c2 := ChildrenOf(j, w)
+			sendFeat(b, feat, (layer+1)*w+c1, wave)
+			if c2 != c1 {
+				sendFeat(b, feat, (layer+1)*w+c2, wave)
+			}
+		default:
+			// Sink: gather and accumulate the verification checksum.
+			recvWave(b, in1, in2, layer, j, w, wave)
+			for i := range in1 {
+				checksum += in1[i] - in2[i]*0.5
+			}
+		}
+	}
+	total := comm.AllreduceFloat64(b, checksum, comm.Sum)
+	return Result{Checksum: total, Waves: p.Waves}, nil
+}
+
+// sendFeat sends the feature array tagged by wave parity (two outstanding
+// waves cannot collide because each edge is used once per wave and channels
+// are FIFO).
+func sendFeat(b comm.Backend, feat []float64, dst, wave int) {
+	buf := make([]byte, 8*len(feat))
+	for i, v := range feat {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	b.Send(buf, dst, 10)
+	_ = wave
+}
+
+// recvWave receives this node's two parent arrays for a wave.  A node whose
+// two parents are the same node receives two copies (matching the sender's
+// two fan-out messages).
+func recvWave(b comm.Backend, in1, in2 []float64, layer, j, w, wave int) {
+	p1, p2 := ParentsOf(j, w)
+	src1 := (layer-1)*w + p1
+	src2 := (layer-1)*w + p2
+	b1 := make([]byte, 8*len(in1))
+	b2 := make([]byte, 8*len(in2))
+	r1 := b.Irecv(b1, src1, 10)
+	r2 := b.Irecv(b2, src2, 10)
+	b.Waitall([]comm.Request{r1, r2})
+	for i := range in1 {
+		in1[i] = math.Float64frombits(binary.LittleEndian.Uint64(b1[i*8:]))
+		in2[i] = math.Float64frombits(binary.LittleEndian.Uint64(b2[i*8:]))
+	}
+	_ = wave
+}

@@ -1,0 +1,224 @@
+package dt
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/comm"
+	"repro/mpibase"
+	"repro/pure"
+)
+
+func init() {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+}
+
+func runBoth(t *testing.T, p Params) (pureRes, mpiRes Result) {
+	t.Helper()
+	nranks := p.Width * p.Layers
+	if err := comm.RunPure(pure.Config{NRanks: nranks}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			pureRes = res
+		}
+	}); err != nil {
+		t.Fatalf("pure: %v", err)
+	}
+	if err := comm.RunMPI(mpibase.Config{NRanks: nranks}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			mpiRes = res
+		}
+	}); err != nil {
+		t.Fatalf("mpi: %v", err)
+	}
+	return pureRes, mpiRes
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < 1e-9
+}
+
+func TestShuffleGraphIsConsistent(t *testing.T) {
+	// Every (parent -> child) edge must appear from both sides.
+	f := func(wU, jU uint8) bool {
+		w := (int(wU%32) + 1) * 2 // even widths 2..64
+		j := int(jU) % w
+		c1, c2 := ChildrenOf(j, w)
+		for _, c := range []int{c1, c2} {
+			p1, p2 := ParentsOf(c, w)
+			if p1 != j && p2 != j {
+				return false
+			}
+		}
+		p1, p2 := ParentsOf(j, w)
+		for _, p := range []int{p1, p2} {
+			d1, d2 := ChildrenOf(p, w)
+			if d1 != j && d2 != j {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryNodeHasTwoDistinctParentsAndChildren(t *testing.T) {
+	for _, w := range []int{2, 4, 16, 24, 64, 128} {
+		for j := 0; j < w; j++ {
+			p1, p2 := ParentsOf(j, w)
+			c1, c2 := ChildrenOf(j, w)
+			if p1 == p2 {
+				t.Fatalf("w=%d j=%d: equal parents %d", w, j, p1)
+			}
+			if c1 == c2 {
+				t.Fatalf("w=%d j=%d: equal children %d", w, j, c1)
+			}
+		}
+	}
+}
+
+func TestWorkCostDeterministicAndHeavyTailed(t *testing.T) {
+	if WorkCost(3, 7, 16) != WorkCost(3, 7, 16) {
+		t.Fatal("work cost not deterministic")
+	}
+	maxC, minC := 0, 1<<30
+	for n := 0; n < 64; n++ {
+		for wv := 0; wv < 8; wv++ {
+			c := WorkCost(n, wv, 16)
+			if c > maxC {
+				maxC = c
+			}
+			if c < minC {
+				minC = c
+			}
+		}
+	}
+	if maxC < 4*max(minC, 1) {
+		t.Fatalf("no heavy tail: min %d max %d", minC, maxC)
+	}
+}
+
+func TestClassShapesMatchPaperRankCounts(t *testing.T) {
+	for _, c := range []struct {
+		letter byte
+		ranks  int
+	}{{'A', 80}, {'B', 192}, {'C', 448}, {'D', 1024}} {
+		p, err := Class(c.letter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Width*p.Layers != c.ranks {
+			t.Errorf("class %c: %d ranks, want %d", c.letter, p.Width*p.Layers, c.ranks)
+		}
+	}
+	if _, err := Class('Z'); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestBackendsAgreeOnChecksum(t *testing.T) {
+	p := Params{Width: 4, Layers: 3, FeatureLen: 64, Waves: 3, WorkScale: 4}
+	pr, mr := runBoth(t, p)
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: pure %v, mpi %v", pr.Checksum, mr.Checksum)
+	}
+	if pr.Checksum == 0 {
+		t.Fatal("zero checksum is suspicious")
+	}
+}
+
+func TestTaskVariantMatchesChecksum(t *testing.T) {
+	p := Params{Width: 4, Layers: 3, FeatureLen: 64, Waves: 3, WorkScale: 4}
+	serial, _ := runBoth(t, p)
+	p.UseTask = true
+	var task Result
+	if err := comm.RunPure(pure.Config{NRanks: 12}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			task = res
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !closeEnough(serial.Checksum, task.Checksum) {
+		t.Fatalf("task checksum %v != serial %v", task.Checksum, serial.Checksum)
+	}
+}
+
+func TestDeeperGraph(t *testing.T) {
+	p := Params{Width: 6, Layers: 4, FeatureLen: 32, Waves: 2, WorkScale: 2}
+	pr, mr := runBoth(t, p)
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := comm.RunPure(pure.Config{NRanks: 4}, func(b comm.Backend) {
+		bad := []Params{
+			{Width: 3, Layers: 2, FeatureLen: 8, Waves: 1}, // odd width
+			{Width: 2, Layers: 1, FeatureLen: 8, Waves: 1}, // too few layers
+			{Width: 2, Layers: 3, FeatureLen: 8, Waves: 1}, // wrong rank count
+			{Width: 2, Layers: 2, FeatureLen: 0, Waves: 1}, // no features
+			{Width: 2, Layers: 2, FeatureLen: 8, Waves: 0}, // no waves
+		}
+		for i, p := range bad {
+			if _, err := Run(b, p); err == nil {
+				t.Errorf("bad param set %d accepted", i)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelpersWithDTClassSShape(t *testing.T) {
+	// Sparse placement with helper threads, as in Fig. 4's class A bars.
+	p := Params{Width: 4, Layers: 3, FeatureLen: 64, Waves: 2, WorkScale: 4, UseTask: true}
+	var res Result
+	err := comm.RunPure(pure.Config{
+		NRanks:         12,
+		Spec:           pure.Spec{Nodes: 1, SocketsPerNode: 1, CoresPerSocket: 16, ThreadsPerCore: 1},
+		RanksPerNode:   12,
+		HelpersPerNode: 2,
+	}, func(b comm.Backend) {
+		r, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := runBoth(t, Params{Width: 4, Layers: 3, FeatureLen: 64, Waves: 2, WorkScale: 4})
+	if !closeEnough(res.Checksum, serial.Checksum) {
+		t.Fatalf("helpers changed the checksum: %v vs %v", res.Checksum, serial.Checksum)
+	}
+}

@@ -1,0 +1,381 @@
+// Package miniamr is a compact proxy for the miniAMR adaptive mesh
+// refinement benchmark used in the paper's evaluation (§5.3).  It keeps
+// miniAMR's communication signature — nonblocking point-to-point halo
+// exchange with both small and large payloads, an all-reduce every step
+// (miniAMR's dt/convergence check), periodic refinement traffic, and use of
+// communicators other than world — on a block-structured mesh:
+//
+//   - Each rank owns one block of a 3D unit-cube decomposition.  A block
+//     carries a cubic cell array whose resolution is base << level.
+//   - A spherical "object" moves through the domain; every RefineRate steps
+//     each block re-targets its refinement level by its distance to the
+//     object's surface (blocks crossing the surface refine to MaxLevel,
+//     far blocks coarsen), then resamples its data to the new resolution.
+//     This changes both compute load and face message sizes over time —
+//     the load/traffic dynamics that drive the paper's Figure 5d.
+//   - Every step, blocks exchange all six faces with neighbours (sizes
+//     first, then payloads, since neighbouring blocks may sit at different
+//     levels; incoming faces are nearest-sampled onto the local
+//     resolution), then apply a 7-point stencil update.
+//   - Every RefineRate steps the ranks also compute per-X-slab cell counts
+//     on a Split sub-communicator (miniAMR's non-world communicator use).
+package miniamr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/comm"
+)
+
+// Params configures a run.
+type Params struct {
+	// Grid is the rank decomposition (px, py, pz); product must equal size.
+	Grid [3]int
+	// BaseCells is the block resolution at level 0 (cells per dimension).
+	BaseCells int
+	// MaxLevel is the deepest refinement level (resolution BaseCells<<level).
+	MaxLevel int
+	// Steps is the number of timesteps.
+	Steps int
+	// RefineRate re-evaluates refinement every this many steps (default 10).
+	RefineRate int
+	// Object is the refining sphere; it moves by Velocity per step with
+	// periodic wraparound in the unit cube.
+	ObjectRadius float64
+	ObjectSpeed  float64
+	// UseTask runs the stencil as a Pure Task chunked over z-planes.
+	UseTask bool
+}
+
+// Result carries invariants for cross-backend verification.
+type Result struct {
+	Checksum   float64 // global sum of all cell values at the end
+	TotalCells int64   // global cell count at the end (varies with refinement)
+	Refines    int64   // global count of level changes
+	Steps      int
+}
+
+type block struct {
+	level int
+	n     int       // current resolution (cells per dim)
+	cells []float64 // (n+2)^3 with ghost layer
+}
+
+func (bl *block) idx(x, y, z int) int { return (z*(bl.n+2)+y)*(bl.n+2) + x }
+
+type sim struct {
+	b       comm.Backend
+	p       Params
+	coords  [3]int
+	blk     block
+	refines int64
+	xcomm   comm.Backend // per-X-slab communicator (Split)
+}
+
+// Run executes the miniAMR proxy over the backend.
+func Run(b comm.Backend, p Params) (Result, error) {
+	if p.Grid[0]*p.Grid[1]*p.Grid[2] != b.Size() {
+		return Result{}, fmt.Errorf("miniamr: grid %v does not match %d ranks", p.Grid, b.Size())
+	}
+	if p.BaseCells < 2 || p.MaxLevel < 0 || p.MaxLevel > 4 {
+		return Result{}, fmt.Errorf("miniamr: bad resolution params %+v", p)
+	}
+	if p.RefineRate <= 0 {
+		p.RefineRate = 10
+	}
+	s := &sim{b: b, p: p}
+	r := b.Rank()
+	s.coords = [3]int{r % p.Grid[0], (r / p.Grid[0]) % p.Grid[1], r / (p.Grid[0] * p.Grid[1])}
+	s.blk = newBlock(p.BaseCells, 0)
+	s.seed()
+	// miniAMR uses communicators beyond world; build per-X-slab comms.
+	s.xcomm = b.Split(s.coords[0], r)
+	return s.run()
+}
+
+func newBlock(base, level int) block {
+	n := base << level
+	return block{level: level, n: n, cells: make([]float64, (n+2)*(n+2)*(n+2))}
+}
+
+// seed initializes cell values deterministically from global coordinates.
+func (s *sim) seed() {
+	bl := &s.blk
+	for z := 1; z <= bl.n; z++ {
+		for y := 1; y <= bl.n; y++ {
+			for x := 1; x <= bl.n; x++ {
+				gx, gy, gz := s.cellCenter(x, y, z)
+				bl.cells[bl.idx(x, y, z)] = math.Sin(7*gx) + math.Cos(5*gy) + math.Sin(3*gz)
+			}
+		}
+	}
+}
+
+// cellCenter returns the global unit-cube coordinates of a cell center.
+func (s *sim) cellCenter(x, y, z int) (float64, float64, float64) {
+	bl := &s.blk
+	bx := 1.0 / float64(s.p.Grid[0])
+	by := 1.0 / float64(s.p.Grid[1])
+	bz := 1.0 / float64(s.p.Grid[2])
+	return float64(s.coords[0])*bx + (float64(x)-0.5)*bx/float64(bl.n),
+		float64(s.coords[1])*by + (float64(y)-0.5)*by/float64(bl.n),
+		float64(s.coords[2])*bz + (float64(z)-0.5)*bz/float64(bl.n)
+}
+
+func (s *sim) run() (Result, error) {
+	for step := 0; step < s.p.Steps; step++ {
+		if step%s.p.RefineRate == 0 {
+			s.refine(step)
+			s.slabStats()
+		}
+		s.exchangeFaces()
+		s.stencil()
+		// miniAMR's per-step global reduction (dt / residual check).
+		_ = comm.AllreduceFloat64(s.b, s.blockSum(), comm.Sum)
+	}
+	sum := comm.AllreduceFloat64(s.b, s.blockSum(), comm.Sum)
+	cells := comm.AllreduceInt64(s.b, int64(s.blk.n)*int64(s.blk.n)*int64(s.blk.n), comm.Sum)
+	refs := comm.AllreduceInt64(s.b, s.refines, comm.Sum)
+	return Result{Checksum: sum, TotalCells: cells, Refines: refs, Steps: s.p.Steps}, nil
+}
+
+func (s *sim) blockSum() float64 {
+	bl := &s.blk
+	sum := 0.0
+	for z := 1; z <= bl.n; z++ {
+		for y := 1; y <= bl.n; y++ {
+			for x := 1; x <= bl.n; x++ {
+				sum += bl.cells[bl.idx(x, y, z)]
+			}
+		}
+	}
+	return sum
+}
+
+// objectCenter returns the refining sphere's center at a step (periodic path).
+func (s *sim) objectCenter(step int) (float64, float64, float64) {
+	t := float64(step) * s.p.ObjectSpeed
+	frac := func(v float64) float64 { return v - math.Floor(v) }
+	return frac(0.3 + t), frac(0.4 + 0.7*t), frac(0.5 + 0.4*t)
+}
+
+// refine re-targets this block's level by distance to the object surface and
+// resamples the data if the level changes.
+func (s *sim) refine(step int) {
+	cx, cy, cz := s.objectCenter(step)
+	// Block bounds in the unit cube.
+	lo := [3]float64{
+		float64(s.coords[0]) / float64(s.p.Grid[0]),
+		float64(s.coords[1]) / float64(s.p.Grid[1]),
+		float64(s.coords[2]) / float64(s.p.Grid[2]),
+	}
+	hi := [3]float64{
+		float64(s.coords[0]+1) / float64(s.p.Grid[0]),
+		float64(s.coords[1]+1) / float64(s.p.Grid[1]),
+		float64(s.coords[2]+1) / float64(s.p.Grid[2]),
+	}
+	// Distance from the sphere center to the block (0 if inside).
+	d2 := 0.0
+	c := [3]float64{cx, cy, cz}
+	for i := 0; i < 3; i++ {
+		if c[i] < lo[i] {
+			d2 += (lo[i] - c[i]) * (lo[i] - c[i])
+		} else if c[i] > hi[i] {
+			d2 += (c[i] - hi[i]) * (c[i] - hi[i])
+		}
+	}
+	dist := math.Sqrt(d2)
+	target := 0
+	switch {
+	case dist <= s.p.ObjectRadius*0.25:
+		target = s.p.MaxLevel
+	case dist <= s.p.ObjectRadius:
+		target = s.p.MaxLevel - 1
+	case dist <= 2*s.p.ObjectRadius:
+		target = s.p.MaxLevel / 2
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target == s.blk.level {
+		return
+	}
+	s.resample(target)
+	s.refines++
+}
+
+// resample rebuilds the block at a new level, nearest-sampling old data.
+func (s *sim) resample(level int) {
+	old := s.blk
+	nb := newBlock(s.p.BaseCells, level)
+	for z := 1; z <= nb.n; z++ {
+		for y := 1; y <= nb.n; y++ {
+			for x := 1; x <= nb.n; x++ {
+				ox := (x-1)*old.n/nb.n + 1
+				oy := (y-1)*old.n/nb.n + 1
+				oz := (z-1)*old.n/nb.n + 1
+				nb.cells[nb.idx(x, y, z)] = old.cells[old.idx(ox, oy, oz)]
+			}
+		}
+	}
+	s.blk = nb
+}
+
+// neighborRank returns the rank at grid offset with periodic wraparound.
+func (s *sim) neighborRank(dx, dy, dz int) int {
+	px, py, pz := s.p.Grid[0], s.p.Grid[1], s.p.Grid[2]
+	x := (s.coords[0] + dx + px) % px
+	y := (s.coords[1] + dy + py) % py
+	z := (s.coords[2] + dz + pz) % pz
+	return (z*py+y)*px + x
+}
+
+// face extracts the interior face plane along axis at the low or high end,
+// as an m x m payload (m = block resolution).
+func (s *sim) face(axis int, high bool) []byte {
+	bl := &s.blk
+	m := bl.n
+	buf := make([]byte, 8+8*m*m)
+	binary.LittleEndian.PutUint64(buf, uint64(m))
+	at := 1
+	if high {
+		at = m
+	}
+	k := 8
+	for b2 := 1; b2 <= m; b2++ {
+		for a := 1; a <= m; a++ {
+			var v float64
+			switch axis {
+			case 0:
+				v = bl.cells[bl.idx(at, a, b2)]
+			case 1:
+				v = bl.cells[bl.idx(a, at, b2)]
+			default:
+				v = bl.cells[bl.idx(a, b2, at)]
+			}
+			binary.LittleEndian.PutUint64(buf[k:], math.Float64bits(v))
+			k += 8
+		}
+	}
+	return buf
+}
+
+// applyFace writes a received face into the ghost layer, nearest-sampling if
+// the neighbour runs at a different resolution.
+func (s *sim) applyFace(axis int, high bool, buf []byte) {
+	bl := &s.blk
+	m := int(binary.LittleEndian.Uint64(buf))
+	at := 0
+	if high {
+		at = bl.n + 1
+	}
+	get := func(a, b2 int) float64 {
+		// map local (a,b2) in [1..n] onto sender's [1..m]
+		sa := (a-1)*m/bl.n + 1
+		sb := (b2-1)*m/bl.n + 1
+		off := 8 + 8*((sb-1)*m+(sa-1))
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+	}
+	for b2 := 1; b2 <= bl.n; b2++ {
+		for a := 1; a <= bl.n; a++ {
+			v := get(a, b2)
+			switch axis {
+			case 0:
+				bl.cells[bl.idx(at, a, b2)] = v
+			case 1:
+				bl.cells[bl.idx(a, at, b2)] = v
+			default:
+				bl.cells[bl.idx(a, b2, at)] = v
+			}
+		}
+	}
+}
+
+// exchangeFaces swaps all six faces with neighbours: first fixed-size size
+// headers, then the variable payloads, all with nonblocking receives
+// (miniAMR is dominated by nonblocking p2p).
+func (s *sim) exchangeFaces() {
+	me := s.b.Rank()
+	for axis := 0; axis < 3; axis++ {
+		var loD, hiD [3]int
+		loD[axis], hiD[axis] = -1, 1
+		loRank := s.neighborRank(loD[0], loD[1], loD[2])
+		hiRank := s.neighborRank(hiD[0], hiD[1], hiD[2])
+		sendLo := s.face(axis, false)
+		sendHi := s.face(axis, true)
+		baseTag := 200 + axis*4
+		if loRank == me && hiRank == me {
+			// Periodic self-wrap.
+			s.applyFace(axis, true, sendLo)
+			s.applyFace(axis, false, sendHi)
+			continue
+		}
+		// Size exchange.
+		var lo8, hi8 [8]byte
+		binary.LittleEndian.PutUint64(lo8[:], uint64(len(sendLo)))
+		binary.LittleEndian.PutUint64(hi8[:], uint64(len(sendHi)))
+		inLo8 := make([]byte, 8)
+		inHi8 := make([]byte, 8)
+		sreqs := []comm.Request{
+			s.b.Irecv(inLo8, loRank, baseTag),
+			s.b.Irecv(inHi8, hiRank, baseTag+1),
+		}
+		s.b.Send(lo8[:], loRank, baseTag+1)
+		s.b.Send(hi8[:], hiRank, baseTag)
+		s.b.Waitall(sreqs)
+		recvLo := make([]byte, binary.LittleEndian.Uint64(inLo8))
+		recvHi := make([]byte, binary.LittleEndian.Uint64(inHi8))
+		reqs := []comm.Request{
+			s.b.Irecv(recvLo, loRank, baseTag+2),
+			s.b.Irecv(recvHi, hiRank, baseTag+3),
+		}
+		s.b.Send(sendLo, loRank, baseTag+3)
+		s.b.Send(sendHi, hiRank, baseTag+2)
+		s.b.Waitall(reqs)
+		s.applyFace(axis, false, recvLo)
+		s.applyFace(axis, true, recvHi)
+	}
+}
+
+// stencil applies the 7-point average update to the interior.
+func (s *sim) stencil() {
+	bl := &s.blk
+	n := bl.n
+	next := make([]float64, len(bl.cells))
+	update := func(zlo, zhi int) {
+		for z := zlo; z <= zhi; z++ {
+			for y := 1; y <= n; y++ {
+				for x := 1; x <= n; x++ {
+					i := bl.idx(x, y, z)
+					next[i] = (bl.cells[i] +
+						bl.cells[bl.idx(x-1, y, z)] + bl.cells[bl.idx(x+1, y, z)] +
+						bl.cells[bl.idx(x, y-1, z)] + bl.cells[bl.idx(x, y+1, z)] +
+						bl.cells[bl.idx(x, y, z-1)] + bl.cells[bl.idx(x, y, z+1)]) / 7.0
+				}
+			}
+		}
+	}
+	if s.p.UseTask {
+		// Chunk over z-planes; the task is re-created per resolution change,
+		// which is rare (refine events), keeping the common path allocation
+		// free is not critical here.
+		task := s.b.NewTask(n, func(start, end int64, _ any) {
+			for c := start; c < end; c++ {
+				update(int(c)+1, int(c)+1)
+			}
+		})
+		task.Execute(nil)
+	} else {
+		update(1, n)
+	}
+	s.blk.cells = next
+}
+
+// slabStats computes per-X-slab total cells on the Split communicator
+// (miniAMR's use of non-world communicators for load statistics).
+func (s *sim) slabStats() {
+	n3 := int64(s.blk.n) * int64(s.blk.n) * int64(s.blk.n)
+	_ = comm.AllreduceInt64(s.xcomm, n3, comm.Sum)
+}

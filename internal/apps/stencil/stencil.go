@@ -1,0 +1,131 @@
+// Package stencil is the paper's running example (§2, Listings 1 and 2): a
+// 1-D stencil whose per-element "random work" takes a variable, unknown
+// amount of time, introducing load imbalance.  Each rank owns a slice of the
+// global array; every iteration it transforms its slice (rand_work), applies
+// a 3-point average, and exchanges edge elements with its two neighbours.
+// With UseTask set, the transform runs as a Pure Task (Listing 2's
+// rand_work_task) so neighbours blocked in their receives steal chunks.
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"repro/comm"
+)
+
+// Params configures a run.
+type Params struct {
+	// ArrSize is the per-rank array length.
+	ArrSize int
+	// Iters is the iteration count.
+	Iters int
+	// WorkScale scales the variable per-element work (imbalance magnitude).
+	WorkScale int
+	// UseTask runs rand_work as a Pure Task (Listing 2); otherwise the plain
+	// loop (Listing 1).
+	UseTask bool
+	// TaskChunks is the task's chunk count (0 = 32).
+	TaskChunks int
+}
+
+// Result is the run's verification state.
+type Result struct {
+	Checksum float64
+	Iters    int
+}
+
+// workReps returns the deterministic variable work count for an element —
+// the stand-in for the paper's random_work timing variability.  It depends
+// only on (rank, iter, index) so every backend computes identical values.
+func workReps(rank, iter, idx, scale int) int {
+	h := uint64(rank)*0x9E3779B97F4A7C15 ^ uint64(iter)*0xBF58476D1CE4E5B9 ^ uint64(idx)*0x94D049BB133111EB
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	r := h % 32
+	reps := int(r)
+	if r >= 30 { // occasional very slow elements
+		reps *= 16
+	}
+	return 1 + reps*scale/16
+}
+
+// randomWork is the paper's random_work: it does not modify its input and
+// takes variable time.  The accumulated term underflows to exactly zero, so
+// the returned value depends only on v (keeping trajectories deterministic)
+// while the loop cannot be eliminated by the compiler.
+func randomWork(v float64, reps int) float64 {
+	acc := 0.0
+	for i := 0; i < reps; i++ {
+		acc += math.Sqrt(math.Abs(v) + float64(i))
+	}
+	return v*1.0001 + acc*1e-300*1e-300
+}
+
+// Run executes the stencil over the backend (rand_stencil_mpi /
+// rand_stencil_pure from the paper, §2).
+func Run(b comm.Backend, p Params) (Result, error) {
+	if p.ArrSize < 4 || p.Iters <= 0 {
+		return Result{}, fmt.Errorf("stencil: bad params %+v", p)
+	}
+	if p.WorkScale <= 0 {
+		p.WorkScale = 1
+	}
+	chunks := p.TaskChunks
+	if chunks <= 0 {
+		chunks = 32
+	}
+	rank, n := b.Rank(), b.Size()
+	arr := p.ArrSize
+	a := make([]float64, arr)
+	for i := range a {
+		a[i] = math.Sin(float64(rank*arr+i)) + 1.5
+	}
+	temp := make([]float64, arr)
+
+	// rand_work_task (Listing 2, lines 4-13): capture a, temp, arr; receive
+	// the chunk range from the runtime; per-iteration state via extra.
+	type iterArgs struct{ iter int }
+	var task comm.Task
+	runChunkRange := func(lo, hi int64, iter int) {
+		for i := lo; i < hi; i++ {
+			temp[i] = randomWork(a[i], workReps(rank, iter, int(i), p.WorkScale))
+		}
+	}
+	if p.UseTask {
+		task = b.NewTask(chunks, func(start, end int64, extra any) {
+			lo, hi := task.AlignedIdxRange(int64(arr), 8, start, end)
+			runChunkRange(lo, hi, extra.(*iterArgs).iter)
+		})
+	}
+
+	buf := make([]byte, 8)
+	one := make([]float64, 1)
+	for it := 0; it < p.Iters; it++ {
+		if task != nil {
+			task.Execute(&iterArgs{iter: it})
+		} else {
+			runChunkRange(0, int64(arr), it)
+		}
+		for i := 1; i < arr-1; i++ {
+			a[i] = (temp[i-1] + temp[i] + temp[i+1]) / 3.0
+		}
+		if rank > 0 {
+			comm.SendFloat64s(b, temp[:1], rank-1, 0)
+			comm.RecvFloat64s(b, one, rank-1, 0)
+			a[0] = (one[0] + temp[0] + temp[1]) / 3.0
+		}
+		if rank < n-1 {
+			comm.SendFloat64s(b, temp[arr-1:], rank+1, 0)
+			comm.RecvFloat64s(b, one, rank+1, 0)
+			a[arr-1] = (temp[arr-2] + temp[arr-1] + one[0]) / 3.0
+		}
+		_ = buf
+	}
+	sum := 0.0
+	for _, v := range a {
+		sum += v
+	}
+	return Result{Checksum: comm.AllreduceFloat64(b, sum, comm.Sum), Iters: p.Iters}, nil
+}

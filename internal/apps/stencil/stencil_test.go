@@ -1,0 +1,123 @@
+package stencil
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/comm"
+	"repro/mpibase"
+	"repro/pure"
+)
+
+func init() {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < 1e-9
+}
+
+func runPure(t *testing.T, nranks int, p Params) Result {
+	t.Helper()
+	var res Result
+	if err := comm.RunPure(pure.Config{NRanks: nranks}, func(b comm.Backend) {
+		r, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			res = r
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runMPI(t *testing.T, nranks int, p Params) Result {
+	t.Helper()
+	var res Result
+	if err := comm.RunMPI(mpibase.Config{NRanks: nranks}, func(b comm.Backend) {
+		r, err := Run(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			res = r
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBackendsAgree(t *testing.T) {
+	p := Params{ArrSize: 128, Iters: 6, WorkScale: 4}
+	pr := runPure(t, 4, p)
+	mr := runMPI(t, 4, p)
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+}
+
+func TestTaskMatchesSerial(t *testing.T) {
+	serial := runPure(t, 4, Params{ArrSize: 128, Iters: 6, WorkScale: 4})
+	task := runPure(t, 4, Params{ArrSize: 128, Iters: 6, WorkScale: 4, UseTask: true})
+	if !closeEnough(serial.Checksum, task.Checksum) {
+		t.Fatalf("task checksum %v != serial %v", task.Checksum, serial.Checksum)
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	pr := runPure(t, 1, Params{ArrSize: 64, Iters: 3})
+	mr := runMPI(t, 1, Params{ArrSize: 64, Iters: 3})
+	if !closeEnough(pr.Checksum, mr.Checksum) {
+		t.Fatalf("single-rank checksums differ: %v vs %v", pr.Checksum, mr.Checksum)
+	}
+}
+
+func TestWorkRepsVariance(t *testing.T) {
+	lo, hi := 1<<30, 0
+	for i := 0; i < 1000; i++ {
+		r := workReps(1, 2, i, 16)
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi < 8*lo {
+		t.Fatalf("work distribution too flat: [%d, %d]", lo, hi)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := comm.RunPure(pure.Config{NRanks: 1}, func(b comm.Backend) {
+		if _, err := Run(b, Params{ArrSize: 2, Iters: 1}); err == nil {
+			t.Error("tiny array accepted")
+		}
+		if _, err := Run(b, Params{ArrSize: 64, Iters: 0}); err == nil {
+			t.Error("zero iters accepted")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWorkValueIndependentOfReps(t *testing.T) {
+	a := randomWork(1.25, 1)
+	b := randomWork(1.25, 10000)
+	if a != b {
+		t.Fatalf("randomWork value depends on reps: %v vs %v", a, b)
+	}
+}

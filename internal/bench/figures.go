@@ -1,0 +1,439 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/desmodels"
+	"repro/internal/workloads"
+)
+
+// costs is the calibrated cost model used by every DES experiment.
+var costs = desmodels.Paper()
+
+func must(t int64, err error) int64 {
+	if err != nil {
+		panic(fmt.Sprintf("bench: simulation failed: %v", err))
+	}
+	return t
+}
+
+// Sec2Stencil reproduces the §2 example: 32 ranks on one node; Pure's
+// messaging alone vs MPI, then Pure Tasks.
+func Sec2Stencil(quick bool) Table {
+	iters := 50
+	if quick {
+		iters = 8
+	}
+	p := workloads.DefaultStencil(32, iters)
+	mpiT := must(desmodels.RunMPI(32, 0, costs, workloads.Stencil(p)))
+	pureT := must(desmodels.RunPure(32, 0, costs, desmodels.PureOpts{}, workloads.Stencil(p)))
+	pt := p
+	pt.UseTask = true
+	taskT := must(desmodels.RunPure(32, 0, costs, desmodels.PureOpts{}, workloads.Stencil(pt)))
+	return Table{
+		ID:      "sec2",
+		Title:   "rand-stencil, 32 ranks, 1 node (paper: ~10% messaging, >200% with tasks)",
+		Columns: []string{"config", "runtime", "speedup-vs-MPI"},
+		Rows: [][]string{
+			{"MPI", ns(mpiT), "1.00x"},
+			{"Pure (messages only)", ns(pureT), ratio(mpiT, pureT)},
+			{"Pure + Tasks", ns(taskT), ratio(mpiT, taskT)},
+		},
+	}
+}
+
+// Fig4DT reproduces Figure 4: NAS DT (SH), classes A-D, speedup over MPI for
+// Pure without tasks, with tasks, and (class A) with helper threads.
+func Fig4DT(quick bool) Table {
+	classes := []struct {
+		letter  byte
+		rpn     int
+		helpers int // idle hardware threads per node (class A: 64-40=24)
+	}{
+		{'A', 40, 24},
+		{'B', 64, 0},
+		{'C', 64, 0},
+		{'D', 16, 0},
+	}
+	if quick {
+		classes = classes[:1]
+	}
+	tb := Table{
+		ID:      "fig4",
+		Title:   "DT: Pure speedup over MPI baseline (paper: msgs 1.11-1.25x, tasks 1.7-2.5x, +helpers A: 2.3->2.6x)",
+		Columns: []string{"class", "ranks", "MPI", "Pure-noTasks", "Pure+Tasks", "Pure+Tasks+Helpers"},
+	}
+	for _, cl := range classes {
+		p, err := workloads.DTClass(cl.letter)
+		if err != nil {
+			panic(err)
+		}
+		if quick {
+			p.Waves = 2
+		}
+		n := p.Width * p.Layers
+		mpiT := must(desmodels.RunMPI(n, cl.rpn, costs, workloads.DT(p)))
+		pureT := must(desmodels.RunPure(n, cl.rpn, costs, desmodels.PureOpts{}, workloads.DT(p)))
+		pt := p
+		pt.UseTask = true
+		taskT := must(desmodels.RunPure(n, cl.rpn, costs, desmodels.PureOpts{}, workloads.DT(pt)))
+		helpCell := "-"
+		if cl.helpers > 0 {
+			helpT := must(desmodels.RunPure(n, cl.rpn, costs,
+				desmodels.PureOpts{HelpersPerNode: cl.helpers}, workloads.DT(pt)))
+			helpCell = ratio(mpiT, helpT)
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%c", cl.letter), fmt.Sprint(n), ns(mpiT),
+			ratio(mpiT, pureT), ratio(mpiT, taskT), helpCell,
+		})
+	}
+	return tb
+}
+
+// comdScales returns the weak-scaling rank counts for Figs. 5a-5c.
+func comdScales(quick bool) []int {
+	if quick {
+		return []int{8, 32}
+	}
+	return []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+}
+
+// Fig5aCoMD reproduces Figure 5a: CoMD end-to-end runtimes, MPI vs
+// MPI+OpenMP (16 procs x 4 threads per node) vs Pure.
+func Fig5aCoMD(quick bool) Table {
+	steps := 50
+	if quick {
+		steps = 8
+	}
+	tb := Table{
+		ID:      "fig5a",
+		Title:   "CoMD end-to-end (paper: Pure 7-25% over MPI; 35-50% over MPI+OpenMP)",
+		Columns: []string{"ranks", "MPI", "MPI+OMP", "Pure", "Pure-vs-MPI", "Pure-vs-OMP"},
+	}
+	for _, n := range comdScales(quick) {
+		p := workloads.DefaultCoMD(n, steps)
+		mpiT := must(desmodels.RunMPI(n, 64, costs, workloads.CoMD(p)))
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, workloads.CoMD(p)))
+		var hybT int64
+		if n >= 4 {
+			hp, procs := workloads.CoMDHybrid(p, 4)
+			hybT = must(desmodels.RunHybrid(procs, 4, 16, costs, workloads.CoMD(hp)))
+		}
+		hybCell, vsOMP := "-", "-"
+		if hybT > 0 {
+			hybCell, vsOMP = ns(hybT), ratio(hybT, pureT)
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(n), ns(mpiT), hybCell, ns(pureT), ratio(mpiT, pureT), vsOMP,
+		})
+	}
+	return tb
+}
+
+// Fig5bCoMDImbalanced reproduces Figure 5b: statically imbalanced CoMD
+// (void spheres), MPI vs Pure with the eamForce task.
+func Fig5bCoMDImbalanced(quick bool) Table {
+	steps := 50
+	if quick {
+		steps = 8
+	}
+	tb := Table{
+		ID:      "fig5b",
+		Title:   "Imbalanced CoMD (void spheres; paper: Pure 1.6-2.1x)",
+		Columns: []string{"ranks", "MPI", "Pure+Tasks", "speedup"},
+	}
+	for _, n := range comdScales(quick) {
+		p := workloads.DefaultCoMD(n, steps)
+		p.VoidFactor = workloads.VoidSpheres(n)
+		mpiT := must(desmodels.RunMPI(n, 64, costs, workloads.CoMD(p)))
+		pt := p
+		pt.UseTask = true
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, workloads.CoMD(pt)))
+		tb.Rows = append(tb.Rows, []string{fmt.Sprint(n), ns(mpiT), ns(pureT), ratio(mpiT, pureT)})
+	}
+	return tb
+}
+
+// Fig5cCoMDDynamic reproduces Figure 5c: dynamically imbalanced CoMD
+// against MPI, MPI+OpenMP and six AMPI variants.
+func Fig5cCoMDDynamic(quick bool) Table {
+	steps := 48
+	scales := []int{8, 16, 32, 64, 128, 256, 512}
+	if quick {
+		steps = 16
+		scales = []int{16}
+	}
+	tb := Table{
+		ID:    "fig5c",
+		Title: "Dynamic imbalanced CoMD (paper: Pure >=1.25x best AMPI on 1 node, ~2x multi-node)",
+		Columns: []string{"ranks", "MPI", "MPI+OMP", "Pure",
+			"AMPI", "AMPI-2vp", "AMPI-4vp", "AMPIsmp", "AMPIsmp-2vp", "AMPIsmp-4vp", "Pure-vs-bestAMPI"},
+	}
+	for _, n := range scales {
+		p := workloads.DefaultCoMD(n, steps)
+		p.HotFactor = workloads.MovingHotspot(n, 4)
+		mpiT := must(desmodels.RunMPI(n, 64, costs, workloads.CoMD(p)))
+		var hybCell string = "-"
+		if n >= 4 {
+			hp, procs := workloads.CoMDHybrid(p, 4)
+			hybCell = ns(must(desmodels.RunHybrid(procs, 4, 16, costs, workloads.CoMD(hp))))
+		}
+		pt := p
+		pt.UseTask = true
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, workloads.CoMD(pt)))
+		bestAMPI := int64(1 << 62)
+		cells := []string{fmt.Sprint(n), ns(mpiT), hybCell, ns(pureT)}
+		for _, smp := range []bool{false, true} {
+			for _, vp := range []int{1, 2, 4} {
+				ap := workloads.CoMDAMPI(p, vp)
+				at, _, err := desmodels.RunAMPI(ap.Ranks, costs,
+					desmodels.AMPIOpts{VP: vp, SMP: smp, CoresPerNode: 64}, workloads.CoMD(ap))
+				if err != nil {
+					panic(err)
+				}
+				if at < bestAMPI {
+					bestAMPI = at
+				}
+				cells = append(cells, ns(at))
+			}
+		}
+		cells = append(cells, ratio(bestAMPI, pureT))
+		tb.Rows = append(tb.Rows, cells)
+	}
+	return tb
+}
+
+// Fig5dMiniAMR reproduces Figure 5d: miniAMR weak scaling, MPI vs Pure.
+func Fig5dMiniAMR(quick bool) Table {
+	steps := 60
+	scales := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	if quick {
+		steps = 10
+		scales = []int{2, 16, 64}
+	}
+	tb := Table{
+		ID:      "fig5d",
+		Title:   "miniAMR end-to-end (paper Fig. 5d: Pure consistently ahead of MPI)",
+		Columns: []string{"ranks", "MPI", "Pure", "speedup"},
+	}
+	for _, n := range scales {
+		p := workloads.DefaultMiniAMR(n, steps)
+		mpiT := must(desmodels.RunMPI(n, 64, costs, workloads.MiniAMR(p)))
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, workloads.MiniAMR(p)))
+		tb.Rows = append(tb.Rows, []string{fmt.Sprint(n), ns(mpiT), ns(pureT), ratio(mpiT, pureT)})
+	}
+	return tb
+}
+
+// pingPongProg builds the two-rank ping-pong used by Fig. 6's DES leg.
+func pingPongProg(bytes, iters int) func(desmodels.VCtx) {
+	return func(v desmodels.VCtx) {
+		for i := 0; i < iters; i++ {
+			if v.Rank() == 0 {
+				v.Send(1, bytes, 0)
+				v.Recv(1, bytes, 1)
+			} else if v.Rank() == 1 {
+				v.Recv(0, bytes, 0)
+				v.Send(0, bytes, 1)
+			}
+		}
+	}
+}
+
+// Fig6PingPong reproduces Figure 6: intra-node point-to-point speedup over
+// MPI for payloads 4 B-16 MB at three placements.  The placement curves come
+// from the DES (this host cannot pin threads to sockets); RealHostPingPong
+// adds the measured curve from the real runtimes.
+func Fig6PingPong(quick bool) Table {
+	sizes := []int{4, 8, 16, 32, 64, 128, 256, 512, 1 << 10, 2 << 10, 4 << 10, 8 << 10,
+		16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	iters := 40
+	if quick {
+		sizes = []int{8, 1 << 10, 64 << 10, 1 << 20}
+		iters = 10
+	}
+	tb := Table{
+		ID:      "fig6",
+		Title:   "Intra-node ping-pong speedup over MPI by placement (paper: up to 17x small, 1-2x large)",
+		Columns: []string{"payload", "MPI", "Pure-HTsibling", "Pure-sharedL3", "Pure-xNUMA", "best-speedup"},
+	}
+	for _, sz := range sizes {
+		prog := pingPongProg(sz, iters)
+		mpiT := must(desmodels.RunMPI(2, 0, costs, prog))
+		// Placements: ranks 0,1 as HT siblings (64/node SMP), separate cores
+		// same socket (2/node at cores 0 and 1 — SMP with 1 thread/core), and
+		// across sockets.
+		ht := must(desmodels.RunPure(2, 0, costs, desmodels.PureOpts{}, prog))
+		l3 := must(runPurePlacedPair(1, prog)) // same socket, different cores
+		xn := must(runPurePlacedPair(2, prog)) // different sockets
+		tb.Rows = append(tb.Rows, []string{
+			bytesLabel(sz), ns(mpiT), ns(ht), ns(l3), ns(xn), ratio(mpiT, ht),
+		})
+	}
+	return tb
+}
+
+// Fig7aAllreduce reproduces Figure 7a: 8 B all-reduce, MPI vs MPI-DMAPP vs
+// OpenMP (single node only) vs Pure.
+func Fig7aAllreduce(quick bool) Table {
+	scales := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	iters := 10
+	if quick {
+		scales = []int{2, 16, 64, 256}
+		iters = 3
+	}
+	tb := Table{
+		ID:      "fig7a",
+		Title:   "All-Reduce 8B payload (paper: Pure 11% to >3.5x over MPI/DMAPP)",
+		Columns: []string{"ranks", "MPI", "MPI-DMAPP", "OpenMP", "Pure", "Pure-vs-MPI"},
+	}
+	prog := func(v desmodels.VCtx) {
+		for i := 0; i < iters; i++ {
+			v.Allreduce(8)
+		}
+	}
+	for _, n := range scales {
+		mpiT := must(desmodels.RunMPI(n, 64, costs, prog))
+		dmT := must(desmodels.RunMPIDMAPP(n, 64, costs, prog))
+		ompCell := "-"
+		if n <= 64 {
+			ompCell = ns(must(desmodels.RunOMP(n, costs, prog)))
+		}
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, prog))
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(n), ns(mpiT), ns(dmT), ompCell, ns(pureT), ratio(mpiT, pureT),
+		})
+	}
+	return tb
+}
+
+// Fig7bBarrierNode reproduces Figure 7b: barrier on a single node, 2-64
+// ranks (paper: Pure 2.4-5x over MPI, up to 8x over OpenMP).
+func Fig7bBarrierNode(quick bool) Table {
+	scales := []int{2, 4, 8, 16, 32, 64}
+	iters := 20
+	if quick {
+		scales = []int{2, 16, 64}
+		iters = 5
+	}
+	tb := Table{
+		ID:      "fig7b",
+		Title:   "Barrier, single node (paper: Pure 2.4-5x vs MPI, up to 8x vs OpenMP)",
+		Columns: []string{"ranks", "MPI", "OpenMP", "Pure", "Pure-vs-MPI", "Pure-vs-OMP"},
+	}
+	prog := func(v desmodels.VCtx) {
+		for i := 0; i < iters; i++ {
+			v.Barrier()
+		}
+	}
+	for _, n := range scales {
+		mpiT := must(desmodels.RunMPI(n, 64, costs, prog))
+		ompT := must(desmodels.RunOMP(n, costs, prog))
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, prog))
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(n), ns(mpiT), ns(ompT), ns(pureT), ratio(mpiT, pureT), ratio(ompT, pureT),
+		})
+	}
+	return tb
+}
+
+// Fig7cBarrierScale reproduces Figure 7c: barrier to 65,536 ranks.
+func Fig7cBarrierScale(quick bool) Table {
+	scales := []int{2, 8, 64, 256, 1024, 4096, 16384, 65536}
+	iters := 2
+	if quick {
+		scales = []int{2, 64, 256}
+	}
+	tb := Table{
+		ID:      "fig7c",
+		Title:   "Barrier at scale (to 65,536 ranks)",
+		Columns: []string{"ranks", "MPI", "Pure", "speedup"},
+	}
+	prog := func(v desmodels.VCtx) {
+		for i := 0; i < iters; i++ {
+			v.Barrier()
+		}
+	}
+	for _, n := range scales {
+		mpiT := must(desmodels.RunMPI(n, 64, costs, prog))
+		pureT := must(desmodels.RunPure(n, 64, costs, desmodels.PureOpts{}, prog))
+		tb.Rows = append(tb.Rows, []string{fmt.Sprint(n), ns(mpiT), ns(pureT), ratio(mpiT, pureT)})
+	}
+	return tb
+}
+
+// AppAExtraCollectives reproduces Appendix A's additional collective
+// results: broadcast and reduce payload sweeps at 64 ranks.
+func AppAExtraCollectives(quick bool) Table {
+	sizes := []int{8, 64, 512, 2 << 10, 8 << 10, 64 << 10}
+	iters := 10
+	if quick {
+		sizes = []int{8, 2 << 10}
+		iters = 3
+	}
+	tb := Table{
+		ID:      "appA",
+		Title:   "Additional collectives, 64 ranks / 1 node (Appendix A)",
+		Columns: []string{"payload", "MPI-bcast", "Pure-bcast", "bcast-speedup", "MPI-allreduce", "Pure-allreduce", "allreduce-speedup"},
+	}
+	for _, sz := range sizes {
+		bc := func(v desmodels.VCtx) {
+			for i := 0; i < iters; i++ {
+				v.Bcast(sz, 0)
+			}
+		}
+		ar := func(v desmodels.VCtx) {
+			for i := 0; i < iters; i++ {
+				v.Allreduce(sz)
+			}
+		}
+		mb := must(desmodels.RunMPI(64, 64, costs, bc))
+		pb := must(desmodels.RunPure(64, 64, costs, desmodels.PureOpts{}, bc))
+		ma := must(desmodels.RunMPI(64, 64, costs, ar))
+		pa := must(desmodels.RunPure(64, 64, costs, desmodels.PureOpts{}, ar))
+		tb.Rows = append(tb.Rows, []string{
+			bytesLabel(sz), ns(mb), ns(pb), ratio(mb, pb), ns(ma), ns(pa), ratio(ma, pa),
+		})
+	}
+	return tb
+}
+
+// Fig1Timeline reproduces the paper's Figure 1: a timeline of three
+// co-resident ranks where rank 0 executes a chunked task while ranks 1 and
+// 2 block on receives and steal chunks.  The rendered timeline is attached
+// to the table notes.
+func Fig1Timeline(quick bool) Table {
+	_ = quick
+	trace := &desmodels.Trace{}
+	prog := func(v desmodels.VCtx) {
+		if v.Rank() == 0 {
+			// Six chunks of varying cost, exactly like the figure.
+			v.Task([]int64{30000, 20000, 90000, 25000, 110000, 15000})
+			v.Send(1, 8, 0)
+			v.Send(2, 8, 0)
+		} else {
+			v.Recv(0, 8, 0) // blocks; SSW-Loop steals chunks meanwhile
+		}
+	}
+	end, err := desmodels.RunPure(3, 0, costs, desmodels.PureOpts{Trace: trace}, prog)
+	if err != nil {
+		panic(err)
+	}
+	var sb strings.Builder
+	trace.Render(&sb, 96)
+	tb := Table{
+		ID:      "fig1",
+		Title:   "Task-stealing timeline, 3 ranks / 1 node (paper Fig. 1)",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"virtual-runtime", ns(end)},
+			{"chunks-stolen", fmt.Sprint(trace.StolenChunks())},
+		},
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		tb.Notes = append(tb.Notes, line)
+	}
+	return tb
+}

@@ -1,0 +1,107 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5 and the appendices), printing the same rows/series the
+// paper reports.  Application-scale experiments (Figs. 4, 5a-d, 7a/c) run on
+// the discrete-event cluster simulator; latency microbenchmarks (Fig. 6,
+// Fig. 7b, App. C) additionally run on the real runtimes on this host.
+//
+// Each experiment returns a Table; cmd/purebench prints them and writes
+// CSV, and the repository's bench_test.go exposes each as a testing.B
+// benchmark (in quick mode).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result grid.
+type Table struct {
+	ID      string // e.g. "fig4"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as CSV (RFC-4180-ish; cells are simple tokens here).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ns formats a nanosecond count compactly.
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gus", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// ratio formats a speedup.
+func ratio(base, other int64) string {
+	if other == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(other))
+}
+
+// bytesLabel formats a payload size like the paper's axes.
+func bytesLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dkB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,251 @@
+// Package cluster is a deterministic process-oriented discrete-event
+// simulator (DES).  It is the stand-in for the hardware this reproduction
+// does not have: the paper evaluates Pure on up to 1,024 Cray XC40 nodes
+// (65,536 hardware threads), while this repository runs on a small host.
+//
+// Simulated processes are goroutines that run one at a time under a strict
+// handshake with the engine, communicating through simulated channels and
+// advancing a shared virtual clock.  Everything is deterministic: events at
+// equal times fire in scheduling order (a monotone sequence number breaks
+// ties), so a simulation's result is a pure function of its inputs.
+//
+// The runtime cost models in internal/desmodels build virtual Pure/MPI/AMPI
+// runtimes on these primitives; the workload skeletons in
+// internal/workloads run the paper's applications over them, regenerating
+// the end-to-end figures in virtual nanoseconds.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled occurrence: either resume a parked process or run a
+// callback inside the engine.
+type event struct {
+	at  int64
+	seq uint64
+	p   *Proc  // non-nil: resume this process
+	fn  func() // non-nil: run this callback
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Engine is one simulation instance.  Not safe for concurrent use; the
+// handshake guarantees only one simulated process runs at a time.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	parked chan *Proc // a process signals here when it blocks or exits
+	nlive  int
+	procs  []*Proc
+}
+
+// New creates an empty simulation.
+func New() *Engine {
+	return &Engine{parked: make(chan *Proc)}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at now+delay inside the engine (it must not block).
+func (e *Engine) At(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Proc is one simulated process.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	done     bool
+	panicked any
+	// blocked marks a process parked on a wait structure (not a timer);
+	// used for deadlock reporting.
+	blockedOn string
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Spawn registers a process; it starts when Run is called.  fn runs on its
+// own goroutine but in strict alternation with the engine.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.nlivePlus()
+	e.seq++
+	heap.Push(&e.events, event{at: e.now, seq: e.seq, p: p})
+	go func() {
+		<-p.resume // wait for the engine to start us
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = r
+			}
+			p.done = true
+			e.parked <- p
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+func (e *Engine) nlivePlus() { e.nlive++ }
+
+// schedule resumes p at now+delay.
+func (e *Engine) schedule(p *Proc, delay int64) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, p: p})
+}
+
+// Run executes the simulation until every process has finished or no event
+// can make progress.  It returns the final virtual time and an error if
+// processes deadlocked.
+func (e *Engine) Run() (int64, error) {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.p.done {
+			continue
+		}
+		ev.p.resume <- struct{}{}
+		q := <-e.parked // wait for it to park, block, or exit
+		if q.done {
+			e.nlive--
+			if q.panicked != nil {
+				return e.now, fmt.Errorf("cluster: process %s panicked: %v", q.name, q.panicked)
+			}
+		}
+	}
+	if e.nlive > 0 {
+		var stuck []string
+		for _, p := range e.procs {
+			if !p.done {
+				stuck = append(stuck, fmt.Sprintf("%s (on %s)", p.name, p.blockedOn))
+			}
+		}
+		return e.now, fmt.Errorf("cluster: deadlock at t=%dns; %d processes blocked: %v", e.now, e.nlive, stuck)
+	}
+	return e.now, nil
+}
+
+// Delay advances virtual time for this process by ns (models computation).
+func (p *Proc) Delay(ns int64) {
+	if ns < 0 {
+		panic("cluster: negative delay")
+	}
+	p.eng.schedule(p, ns)
+	p.park("timer")
+}
+
+// park yields to the engine without scheduling a wake; something else must
+// call unpark (or the process deadlocks).
+func (p *Proc) park(what string) {
+	p.blockedOn = what
+	p.eng.parked <- p
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// unpark schedules p to resume at the current time.
+func (p *Proc) unpark() { p.eng.schedule(p, 0) }
+
+// Chan is an unbounded FIFO of values between simulated processes.
+type Chan[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*Proc
+}
+
+// NewChan creates a channel on the engine.
+func NewChan[T any](e *Engine, name string) *Chan[T] {
+	return &Chan[T]{eng: e, name: name}
+}
+
+// Len returns the queued item count.
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Send enqueues v now and wakes one waiter.  It never blocks.
+func (c *Chan[T]) Send(v T) {
+	c.items = append(c.items, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[:copy(c.waiters, c.waiters[1:])]
+		w.unpark()
+	}
+}
+
+// SendAfter enqueues v after a virtual delay (models wire latency).
+func (c *Chan[T]) SendAfter(v T, delay int64) {
+	c.eng.At(delay, func() { c.Send(v) })
+}
+
+// TryRecv dequeues without blocking.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.items) == 0 {
+		return zero, false
+	}
+	v := c.items[0]
+	c.items = c.items[:copy(c.items, c.items[1:])]
+	return v, true
+}
+
+// Recv blocks the process until an item is available.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for {
+		if v, ok := c.TryRecv(); ok {
+			return v
+		}
+		c.waiters = append(c.waiters, p)
+		p.park("chan " + c.name)
+	}
+}
+
+// Signal wakes a set of parked processes when pulsed (used for "something
+// changed on this node, re-check your condition" wakeups).
+type Signal struct {
+	waiters []*Proc
+}
+
+// Wait parks the process until the next Pulse.
+func (s *Signal) Wait(p *Proc, what string) {
+	s.waiters = append(s.waiters, p)
+	p.park(what)
+}
+
+// Pulse wakes every currently parked waiter.
+func (s *Signal) Pulse() {
+	for _, w := range s.waiters {
+		w.unpark()
+	}
+	s.waiters = s.waiters[:0]
+}

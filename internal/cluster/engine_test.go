@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcDelay(t *testing.T) {
+	e := New()
+	var observed []int64
+	e.Spawn("p", func(p *Proc) {
+		observed = append(observed, e.Now())
+		p.Delay(100)
+		observed = append(observed, e.Now())
+		p.Delay(50)
+		observed = append(observed, e.Now())
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 150 {
+		t.Fatalf("end = %d, want 150", end)
+	}
+	want := []int64{0, 100, 150}
+	for i := range want {
+		if observed[i] != want[i] {
+			t.Fatalf("observed %v, want %v", observed, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.Delay(10)
+		order = append(order, "a10")
+		p.Delay(20) // t=30
+		order = append(order, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Delay(20)
+		order = append(order, "b20")
+		p.Delay(10) // t=30, scheduled after a's
+		order = append(order, "b30")
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a10", "b20", "a30", "b30"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestChanLatency(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e, "wire")
+	var recvAt int64
+	e.Spawn("sender", func(p *Proc) {
+		p.Delay(5)
+		ch.SendAfter(42, 100) // delivery at t=105
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		v := ch.Recv(p)
+		if v != 42 {
+			t.Errorf("got %d", v)
+		}
+		recvAt = e.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 105 {
+		t.Fatalf("received at %d, want 105", recvAt)
+	}
+}
+
+func TestChanFIFOAndTryRecv(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e, "q")
+	var got []int
+	e.Spawn("p", func(p *Proc) {
+		ch.Send(1)
+		ch.Send(2)
+		if v, ok := ch.TryRecv(); !ok || v != 1 {
+			t.Errorf("TryRecv = %d,%v", v, ok)
+		}
+		if ch.Len() != 1 {
+			t.Errorf("Len = %d", ch.Len())
+		}
+		got = append(got, ch.Recv(p))
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	ch := NewChan[int](e, "never")
+	e.Spawn("stuck", func(p *Proc) {
+		ch.Recv(p)
+	})
+	_, err := e.Run()
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestSignalPulseWakesAll(t *testing.T) {
+	e := New()
+	sig := &Signal{}
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			sig.Wait(p, "sig")
+			woke++
+		})
+	}
+	e.Spawn("pulser", func(p *Proc) {
+		p.Delay(10)
+		sig.Pulse()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke %d, want 3", woke)
+	}
+}
+
+func TestAtCallbacksRunInOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Spawn("p", func(p *Proc) {
+		e.At(30, func() { order = append(order, 30) })
+		e.At(10, func() { order = append(order, 10) })
+		e.At(10, func() { order = append(order, 11) }) // same time: insertion order
+		p.Delay(100)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 10 || order[1] != 11 || order[2] != 30 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+// Property: a pipeline of n stages each delaying d ends at exactly n*d and
+// the simulation is deterministic across repeated runs.
+func TestPipelineDeterminismProperty(t *testing.T) {
+	f := func(nU, dU uint8) bool {
+		n := int(nU%8) + 2
+		d := int64(dU%100) + 1
+		run := func() int64 {
+			e := New()
+			chans := make([]*Chan[int], n+1)
+			for i := range chans {
+				chans[i] = NewChan[int](e, "s")
+			}
+			for i := 0; i < n; i++ {
+				stage := i
+				e.Spawn("stage", func(p *Proc) {
+					v := chans[stage].Recv(p)
+					p.Delay(d)
+					chans[stage+1].Send(v + 1)
+				})
+			}
+			e.Spawn("src", func(p *Proc) { chans[0].Send(0) })
+			var end int64
+			e.Spawn("sink", func(p *Proc) {
+				v := chans[n].Recv(p)
+				if v != n {
+					t.Errorf("sink got %d, want %d", v, n)
+				}
+				end = e.Now()
+			})
+			if _, err := e.Run(); err != nil {
+				t.Error(err)
+			}
+			return end
+		}
+		a, b := run(), run()
+		return a == b && a == int64(n)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative delay did not panic")
+			}
+		}()
+		p.Delay(-1)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := New()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package collective
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// pad separates atomics owned by different threads so sequence numbers never
+// false-share (64-byte cachelines on the paper's Haswell nodes).
+type pad [64]byte
+
+// dropbox is one thread's Sequenced Per-Thread Dropbox (paper Fig. 2): a
+// small payload area plus an atomic sequence number.  The owning (non-leader)
+// thread writes the payload and then stores the sequence; the leader loads
+// the sequence and, when it matches the current round, consumes the payload.
+// ack carries the reverse direction: the thread stores the round it has fully
+// completed, which tells the next round's shared-buffer writer that reuse is
+// safe.
+type dropbox struct {
+	seq atomic.Uint64
+	_   pad
+	ack atomic.Uint64
+	_   pad
+	buf []byte // small-data payload area, cap = maxPayload
+}
+
+// SPTD is the Sequenced Per-Thread Dropbox collective structure for the
+// nthreads ranks co-resident on one node (within one communicator).  One
+// instance is shared by those threads and reused for every collective round;
+// rounds are counted per-thread and advance in lockstep because collectives
+// must be invoked in the same order by every rank (the usual MPI rule).
+//
+// Thread 0 is the statically elected leader (the paper found static election
+// beats a CAS-based "first thread in" race; see the ablation bench).
+type SPTD struct {
+	nthreads   int
+	maxPayload int
+	boxes      []dropbox
+	// leader zone: result payload and its publication sequence.
+	resultSeq atomic.Uint64
+	_         pad
+	result    []byte
+	// per-thread round counters, padded.
+	rounds []paddedCounter
+}
+
+type paddedCounter struct {
+	v uint64
+	_ [56]byte
+}
+
+// NewSPTD builds the structure for nthreads threads exchanging payloads of up
+// to maxPayload bytes (the paper uses SPTD for arrays up to 2 KiB; larger
+// reductions switch to the Partitioned Reducer).
+func NewSPTD(nthreads, maxPayload int) *SPTD {
+	if nthreads <= 0 {
+		panic(fmt.Sprintf("collective: NewSPTD nthreads must be positive, got %d", nthreads))
+	}
+	s := &SPTD{
+		nthreads:   nthreads,
+		maxPayload: maxPayload,
+		boxes:      make([]dropbox, nthreads),
+		result:     make([]byte, maxPayload),
+		rounds:     make([]paddedCounter, nthreads),
+	}
+	for i := range s.boxes {
+		s.boxes[i].buf = make([]byte, maxPayload)
+	}
+	return s
+}
+
+// NThreads returns the number of participating threads.
+func (s *SPTD) NThreads() int { return s.nthreads }
+
+// nextRound advances and returns tid's round number (1-based).
+func (s *SPTD) nextRound(tid int) uint64 {
+	s.rounds[tid].v++
+	return s.rounds[tid].v
+}
+
+// finish records that tid has completed round r.
+func (s *SPTD) finish(tid int, r uint64) { s.boxes[tid].ack.Store(r) }
+
+// waitAllFinished blocks until every thread has completed round r.  Writers
+// of the shared result buffer call this with the previous round before
+// overwriting, so a slow thread still copying out can never observe a torn
+// result.
+func (s *SPTD) waitAllFinished(r uint64, wait WaitFunc) {
+	for t := 0; t < s.nthreads; t++ {
+		b := &s.boxes[t]
+		wait(func() bool { return b.ack.Load() >= r })
+	}
+}
+
+// Barrier synchronizes the node-local threads: pairwise arrive at the leader,
+// pairwise release from the leader.  No payload moves.
+func (s *SPTD) Barrier(tid int, wait WaitFunc) {
+	s.BarrierBridged(tid, nil, wait)
+}
+
+// BarrierBridged is Barrier with a cross-node hook: when every local thread
+// has arrived, the leader invokes bridge (e.g. the inter-node barrier over
+// MPI in the paper, netsim here) before releasing the local threads.
+func (s *SPTD) BarrierBridged(tid int, bridge func(), wait WaitFunc) {
+	r := s.nextRound(tid)
+	if tid == 0 {
+		for t := 1; t < s.nthreads; t++ {
+			b := &s.boxes[t]
+			wait(func() bool { return b.seq.Load() >= r })
+		}
+		if bridge != nil {
+			bridge()
+		}
+		s.resultSeq.Store(r)
+	} else {
+		s.boxes[tid].seq.Store(r)
+		wait(func() bool { return s.resultSeq.Load() >= r })
+	}
+	s.finish(tid, r)
+}
+
+// Reduce folds every thread's in payload with op/dt; the result lands in
+// root's out buffer.  bridge, if non-nil, runs on the leader after the local
+// reduction with the locally reduced bytes; it may rewrite them in place with
+// the cross-node result (MPI_Reduce at node scope in the paper).
+func (s *SPTD) Reduce(tid, root int, in, out []byte, op Op, dt DType, bridge func([]byte), wait WaitFunc) {
+	if len(in) > s.maxPayload {
+		panic(fmt.Sprintf("collective: SPTD payload %d exceeds max %d", len(in), s.maxPayload))
+	}
+	r := s.nextRound(tid)
+	if tid == 0 {
+		// Gather and fold every non-leader's dropbox payload.
+		s.waitAllFinished(r-1, wait) // result buffer reuse safety
+		acc := s.result[:len(in)]
+		copy(acc, in)
+		for t := 1; t < s.nthreads; t++ {
+			b := &s.boxes[t]
+			wait(func() bool { return b.seq.Load() >= r })
+			Accumulate(acc, b.buf[:len(in)], op, dt)
+		}
+		if bridge != nil {
+			bridge(acc)
+		}
+		s.resultSeq.Store(r)
+		if root == 0 {
+			copy(out, acc)
+		}
+	} else {
+		b := &s.boxes[tid]
+		copy(b.buf[:len(in)], in)
+		b.seq.Store(r)
+		if tid == root {
+			wait(func() bool { return s.resultSeq.Load() >= r })
+			copy(out, s.result[:len(in)])
+		}
+	}
+	s.finish(tid, r)
+	// The leader must not return before the root has copied the result out;
+	// otherwise the leader could start the next round and overwrite it.  The
+	// waitAllFinished(r-1) gate above provides exactly that protection, so no
+	// extra synchronization is needed here.
+}
+
+// Allreduce folds every thread's in payload and delivers the result to every
+// thread's out buffer.  This is the paper's small-data all-reduce (§4.2.1):
+// flat-combining through the leader with pairwise sequence synchronization.
+func (s *SPTD) Allreduce(tid int, in, out []byte, op Op, dt DType, bridge func([]byte), wait WaitFunc) {
+	if len(in) > s.maxPayload {
+		panic(fmt.Sprintf("collective: SPTD payload %d exceeds max %d", len(in), s.maxPayload))
+	}
+	r := s.nextRound(tid)
+	if tid == 0 {
+		s.waitAllFinished(r-1, wait)
+		acc := s.result[:len(in)]
+		copy(acc, in)
+		for t := 1; t < s.nthreads; t++ {
+			b := &s.boxes[t]
+			wait(func() bool { return b.seq.Load() >= r })
+			Accumulate(acc, b.buf[:len(in)], op, dt)
+		}
+		if bridge != nil {
+			bridge(acc)
+		}
+		s.resultSeq.Store(r)
+		copy(out, acc)
+	} else {
+		b := &s.boxes[tid]
+		copy(b.buf[:len(in)], in)
+		b.seq.Store(r)
+		wait(func() bool { return s.resultSeq.Load() >= r })
+		copy(out, s.result[:len(in)])
+	}
+	s.finish(tid, r)
+}
+
+// Broadcast delivers root's buf to every thread's buf.  The root writes the
+// shared result area (after confirming the previous round fully drained) and
+// publishes it with the result sequence; everyone else copies out.
+func (s *SPTD) Broadcast(tid, root int, buf []byte, bridge func([]byte), wait WaitFunc) {
+	if len(buf) > s.maxPayload {
+		panic(fmt.Sprintf("collective: SPTD payload %d exceeds max %d", len(buf), s.maxPayload))
+	}
+	r := s.nextRound(tid)
+	if tid == root {
+		s.waitAllFinished(r-1, wait)
+		if bridge != nil {
+			bridge(buf)
+		}
+		copy(s.result[:len(buf)], buf)
+		s.resultSeq.Store(r)
+	} else {
+		wait(func() bool { return s.resultSeq.Load() >= r })
+		copy(buf, s.result[:len(buf)])
+	}
+	s.finish(tid, r)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/collective"
+)
+
+// Real-runtime microbenchmarks of the core messaging and collective paths
+// (the DES-based figure benches live in the repository root).
+//
+// The package's test init raises GOMAXPROCS for interleaving coverage; that
+// oversubscribes this host's physical cores with spinning goroutines and
+// turns every handoff into an OS scheduling quantum.  Benchmarks restore
+// GOMAXPROCS = NumCPU so the numbers reflect the runtime, not the kernel
+// scheduler.
+func benchProcs(b *testing.B) {
+	b.Helper()
+	old := runtime.GOMAXPROCS(runtime.NumCPU())
+	b.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func BenchmarkPurePingPong(b *testing.B) {
+	for _, size := range []int{8, 1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			err := Run(Config{NRanks: 2}, func(r *Rank) {
+				c := r.World()
+				buf := make([]byte, size)
+				c.Barrier()
+				if r.ID() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.Send(buf, 1, 0)
+						c.Recv(buf, 1, 1)
+					}
+					b.StopTimer()
+					b.SetBytes(int64(2 * size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						c.Recv(buf, 0, 0)
+						c.Send(buf, 0, 1)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkPureBarrier(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("%dranks", n), func(b *testing.B) {
+			benchProcs(b)
+			err := Run(Config{NRanks: n}, func(r *Rank) {
+				c := r.World()
+				c.Barrier()
+				if r.ID() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					c.Barrier()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkPureAllreduce8B(b *testing.B) {
+	benchProcs(b)
+	const n = 4
+	err := Run(Config{NRanks: n}, func(r *Rank) {
+		c := r.World()
+		in := f64b(float64(r.ID()))
+		out := make([]byte, 8)
+		c.Barrier()
+		if r.ID() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			c.Allreduce(in, out, collective.OpSum, collective.Float64)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPureTaskExecuteNoSteal(b *testing.B) {
+	benchProcs(b)
+	// Owner-only task dispatch cost (no thieves exist to steal).
+	err := Run(Config{NRanks: 1}, func(r *Rank) {
+		task := r.NewTask(16, func(start, end int64, _ any) {
+			for c := start; c < end; c++ {
+				_ = c
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Execute(nil)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/collective"
+)
+
+// collTag is the reserved tag space for runtime-internal leader-to-leader
+// collective traffic.  Application tags must be below it.
+const collTag = 1 << 29
+
+// commShared is the rank-independent state of one communicator: the member
+// list and, per participating node, the lock-free collective structures
+// shared by that node's member threads.
+type commShared struct {
+	id      uint64
+	members []int       // global rank ids in comm-rank order
+	indexOf map[int]int // global rank -> comm rank
+
+	nodeList      []int   // node ids with members, ascending
+	groups        [][]int // per node index: comm ranks on that node, ascending
+	nodeIdxOfRank []int   // comm rank -> index into nodeList
+	localIdxOf    []int   // comm rank -> index within its node group
+	nodes         []*commNode
+
+	splitBuf []splitEntry // scratch for Split; writes are disjoint, fenced by barriers
+}
+
+// commNode holds one node's collective structures for one communicator.
+type commNode struct {
+	sptd *collective.SPTD
+	prs  sync.Map // payload bucket (int) -> *collective.PartitionedReducer
+	n    int
+}
+
+type splitEntry struct {
+	color, key int
+}
+
+type splitKey struct {
+	parent uint64
+	epoch  uint64
+	color  int
+}
+
+// newCommShared builds the shared state for a communicator over the given
+// global ranks (which must be in the desired comm-rank order).
+func (rt *Runtime) newCommShared(members []int) *commShared {
+	sh := &commShared{
+		id:            rt.commIDs.Add(1),
+		members:       members,
+		indexOf:       make(map[int]int, len(members)),
+		nodeIdxOfRank: make([]int, len(members)),
+		localIdxOf:    make([]int, len(members)),
+		splitBuf:      make([]splitEntry, len(members)),
+	}
+	for cr, g := range members {
+		sh.indexOf[g] = cr
+	}
+	nodeIdx := map[int]int{}
+	for cr, g := range members {
+		n := rt.place.NodeOf(g)
+		i, ok := nodeIdx[n]
+		if !ok {
+			i = len(sh.nodeList)
+			nodeIdx[n] = i
+			sh.nodeList = append(sh.nodeList, n)
+			sh.groups = append(sh.groups, nil)
+		}
+		sh.nodeIdxOfRank[cr] = i
+		sh.localIdxOf[cr] = len(sh.groups[i])
+		sh.groups[i] = append(sh.groups[i], cr)
+	}
+	// Members arrive in ascending comm-rank order, so groups are ascending,
+	// but nodeList may be out of order; normalize to ascending node id so
+	// the leader tree is deterministic.
+	if !sort.IntsAreSorted(sh.nodeList) {
+		perm := make([]int, len(sh.nodeList))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return sh.nodeList[perm[a]] < sh.nodeList[perm[b]] })
+		newList := make([]int, len(sh.nodeList))
+		newGroups := make([][]int, len(sh.groups))
+		inv := make([]int, len(perm))
+		for newI, oldI := range perm {
+			newList[newI] = sh.nodeList[oldI]
+			newGroups[newI] = sh.groups[oldI]
+			inv[oldI] = newI
+		}
+		sh.nodeList, sh.groups = newList, newGroups
+		for cr := range sh.nodeIdxOfRank {
+			sh.nodeIdxOfRank[cr] = inv[sh.nodeIdxOfRank[cr]]
+		}
+	}
+	sh.nodes = make([]*commNode, len(sh.nodeList))
+	for i, g := range sh.groups {
+		sh.nodes[i] = &commNode{
+			sptd: collective.NewSPTD(len(g), rt.cfg.SPTDMax),
+			n:    len(g),
+		}
+	}
+	return sh
+}
+
+// pr returns the node's PartitionedReducer sized for payloads of n bytes,
+// creating the power-of-two size bucket on demand.
+func (cn *commNode) pr(n int) *collective.PartitionedReducer {
+	bucket := 64
+	for bucket < n {
+		bucket <<= 1
+	}
+	if v, ok := cn.prs.Load(bucket); ok {
+		return v.(*collective.PartitionedReducer)
+	}
+	v, _ := cn.prs.LoadOrStore(bucket, collective.NewPartitionedReducer(cn.n, bucket))
+	return v.(*collective.PartitionedReducer)
+}
+
+// Comm is one rank's handle on a communicator (the analogue of MPI_Comm).
+type Comm struct {
+	r          *Rank
+	sh         *commShared
+	myRank     int // rank within the communicator
+	splitEpoch uint64
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the communicator's member count.
+func (c *Comm) Size() int { return len(c.sh.members) }
+
+// GlobalRank translates a comm rank to the global (world) rank.
+func (c *Comm) GlobalRank(commRank int) int { return c.sh.members[commRank] }
+
+func (c *Comm) checkPeer(peer int, what string) {
+	if peer < 0 || peer >= len(c.sh.members) {
+		panic(fmt.Sprintf("core: %s rank %d out of range [0,%d)", what, peer, len(c.sh.members)))
+	}
+}
+
+func checkTag(tag int) {
+	if tag < 0 || tag >= collTag {
+		panic(fmt.Sprintf("core: tag %d outside [0, %d)", tag, collTag))
+	}
+}
+
+// Send sends buf to dst (comm rank) with tag, blocking until the buffer is
+// reusable (eager: buffered; rendezvous: delivered).
+//
+// The common case — an intra-node eager send with no pending nonblocking
+// sends on the channel — takes an allocation-free fast path straight into
+// the PureBufferQueue.
+func (c *Comm) Send(buf []byte, dst, tag int) {
+	c.checkPeer(dst, "destination")
+	checkTag(tag)
+	r := c.r
+	g := c.sh.members[dst]
+	if g != r.id && len(buf) < r.rt.cfg.SmallMsgMax && r.rt.place.SameNode(r.id, g) {
+		ch := r.getChannel(chanKey{src: r.id, dst: g, tag: tag, comm: c.sh.id})
+		if ch.sendPend.head() == nil {
+			r.stats.SendsEager++
+			r.stats.BytesSent += int64(len(buf))
+			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
+			if q.TryEnqueue(buf) {
+				return
+			}
+			r.wait.Wait(func() bool { return q.TryEnqueue(buf) })
+			return
+		}
+	}
+	req := r.isend(c.sh.id, buf, g, tag)
+	r.waitReq(req)
+}
+
+// Recv receives a message from src (comm rank) with tag into buf, blocking
+// until delivery; it returns the byte count.  Like Send, the intra-node
+// eager case with no pending nonblocking receives dequeues directly.
+func (c *Comm) Recv(buf []byte, src, tag int) int {
+	c.checkPeer(src, "source")
+	checkTag(tag)
+	r := c.r
+	g := c.sh.members[src]
+	if g != r.id && len(buf) < r.rt.cfg.SmallMsgMax && r.rt.place.SameNode(r.id, g) {
+		ch := r.getChannel(chanKey{src: g, dst: r.id, tag: tag, comm: c.sh.id})
+		if ch.recvPend.head() == nil {
+			r.stats.RecvsEager++
+			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
+			if n, ok := q.TryDequeue(buf); ok {
+				r.stats.BytesReceived += int64(n)
+				return n
+			}
+			var n int
+			r.wait.Wait(func() bool {
+				var ok bool
+				n, ok = q.TryDequeue(buf)
+				return ok
+			})
+			r.stats.BytesReceived += int64(n)
+			return n
+		}
+	}
+	req := r.irecv(c.sh.id, buf, g, tag)
+	return r.waitReq(req)
+}
+
+// Isend starts a nonblocking send; complete it with Wait/Waitall.
+func (c *Comm) Isend(buf []byte, dst, tag int) *Request {
+	c.checkPeer(dst, "destination")
+	checkTag(tag)
+	return c.r.isend(c.sh.id, buf, c.sh.members[dst], tag)
+}
+
+// Irecv starts a nonblocking receive; complete it with Wait/Waitall.
+func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
+	c.checkPeer(src, "source")
+	checkTag(tag)
+	return c.r.irecv(c.sh.id, buf, c.sh.members[src], tag)
+}
+
+// Wait blocks until req completes and returns the transferred byte count.
+func (c *Comm) Wait(req *Request) int { return c.r.waitReq(req) }
+
+// Waitall completes every request.
+func (c *Comm) Waitall(reqs ...*Request) {
+	for _, q := range reqs {
+		c.r.waitReq(q)
+	}
+}
+
+// multiNode reports whether the communicator spans nodes.
+func (c *Comm) multiNode() bool { return len(c.sh.nodeList) > 1 }
+
+// Barrier blocks until every comm member has entered it.
+func (c *Comm) Barrier() {
+	c.r.stats.Barriers++
+	sh := c.sh
+	ni := sh.nodeIdxOfRank[c.myRank]
+	tid := sh.localIdxOf[c.myRank]
+	var bridge func()
+	if c.multiNode() {
+		bridge = func() { c.leaderDissemination(ni) }
+	}
+	sh.nodes[ni].sptd.BarrierBridged(tid, bridge, c.r.wait.Wait)
+}
+
+// Allreduce folds every member's in buffer element-wise with op over dt and
+// delivers the result to every member's out buffer.  Payloads at or below
+// the SPTD threshold use the leader flat-combining path (paper §4.2.1);
+// larger payloads use the Partitioned Reducer (§4.2.2).
+func (c *Comm) Allreduce(in, out []byte, op collective.Op, dt collective.DType) {
+	c.r.stats.Allreduces++
+	sh := c.sh
+	ni := sh.nodeIdxOfRank[c.myRank]
+	tid := sh.localIdxOf[c.myRank]
+	var bridge func([]byte)
+	if c.multiNode() {
+		bridge = func(acc []byte) {
+			c.leaderReduce(ni, 0, acc, op, dt)
+			c.leaderBcast(ni, 0, -1, acc)
+		}
+	}
+	node := sh.nodes[ni]
+	if len(in) <= c.r.rt.cfg.SPTDMax {
+		node.sptd.Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+	} else {
+		node.pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+	}
+}
+
+// Reduce folds every member's in buffer; the result lands in root's out
+// buffer (other ranks may pass nil).
+func (c *Comm) Reduce(in, out []byte, root int, op collective.Op, dt collective.DType) {
+	c.r.stats.Reduces++
+	c.checkPeer(root, "root")
+	sh := c.sh
+	ni := sh.nodeIdxOfRank[c.myRank]
+	tid := sh.localIdxOf[c.myRank]
+	rootNi := sh.nodeIdxOfRank[root]
+	localRoot := 0
+	if ni == rootNi {
+		localRoot = sh.localIdxOf[root]
+	}
+	if out == nil {
+		out = make([]byte, len(in))
+	}
+	var bridge func([]byte)
+	if c.multiNode() {
+		bridge = func(acc []byte) { c.leaderReduce(ni, rootNi, acc, op, dt) }
+	}
+	if len(in) <= c.r.rt.cfg.SPTDMax {
+		// On non-root nodes the local leader receives the node reduction and
+		// forwards it to the cross-node tree inside bridge.
+		sh.nodes[ni].sptd.Reduce(tid, localRoot, in, out, op, dt, bridge, c.r.wait.Wait)
+		return
+	}
+	// Large payloads: partitioned all-reduce locally, leader forwards.
+	sh.nodes[ni].pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+}
+
+// Bcast distributes root's buf to every member's buf.
+func (c *Comm) Bcast(buf []byte, root int) {
+	c.r.stats.Bcasts++
+	c.checkPeer(root, "root")
+	sh := c.sh
+	ni := sh.nodeIdxOfRank[c.myRank]
+	tid := sh.localIdxOf[c.myRank]
+	rootNi := sh.nodeIdxOfRank[root]
+
+	if len(buf) <= c.r.rt.cfg.SPTDMax {
+		rootGlobal := sh.members[root]
+		if ni == rootNi {
+			localRoot := sh.localIdxOf[root]
+			var bridge func([]byte)
+			if c.multiNode() {
+				// The root rank itself acts as its node's tree agent.
+				bridge = func(b []byte) { c.leaderBcast(ni, rootNi, rootGlobal, b) }
+			}
+			sh.nodes[ni].sptd.Broadcast(tid, localRoot, buf, bridge, c.r.wait.Wait)
+			return
+		}
+		// Non-root node: the leader takes part in the cross-node tree first,
+		// then broadcasts locally.
+		var bridge func([]byte)
+		if tid == 0 {
+			bridge = func(b []byte) { c.leaderBcast(ni, rootNi, rootGlobal, b) }
+		}
+		sh.nodes[ni].sptd.Broadcast(tid, 0, buf, bridge, c.r.wait.Wait)
+		return
+	}
+
+	// Large payloads: binomial tree over all comm ranks via rendezvous p2p.
+	c.treeBcast(buf, root)
+}
+
+// treeBcast is a locality-oblivious binomial broadcast over comm ranks,
+// used for payloads beyond the SPTD bound.
+func (c *Comm) treeBcast(buf []byte, root int) {
+	m := c.Size()
+	v := (c.myRank - root + m) % m
+	toReal := func(u int) int { return (u + root) % m }
+	mask := 1
+	for mask < m {
+		if v&mask != 0 {
+			req := c.r.irecv(c.sh.id, buf, c.sh.members[toReal(v-mask)], collTag)
+			c.r.waitReq(req)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if v+mask < m && v&(mask-1) == 0 && v&mask == 0 {
+			c.sendColl(buf, toReal(v+mask))
+		}
+		mask >>= 1
+	}
+}
+
+// ---- Leader-to-leader bridging (the cross-node legs of collectives, which
+// the paper delegates to MPI collectives; here: binomial trees over the
+// inter-node transport) ----
+
+// leaderRankGlobal returns the global rank of node index i's leader.
+func (c *Comm) leaderRankGlobal(i int) int {
+	return c.sh.members[c.sh.groups[i][0]]
+}
+
+func (c *Comm) sendColl(buf []byte, dstCommRank int) {
+	req := c.r.isend(c.sh.id, buf, c.sh.members[dstCommRank], collTag)
+	c.r.waitReq(req)
+}
+
+func (c *Comm) sendLeader(buf []byte, nodeIdx int) {
+	req := c.r.isend(c.sh.id, buf, c.leaderRankGlobal(nodeIdx), collTag)
+	c.r.waitReq(req)
+}
+
+func (c *Comm) recvLeader(buf []byte, nodeIdx int) {
+	req := c.r.irecv(c.sh.id, buf, c.leaderRankGlobal(nodeIdx), collTag)
+	c.r.waitReq(req)
+}
+
+// leaderDissemination synchronizes the node leaders with the classic
+// dissemination barrier (ceil(log2(m)) rounds), the same algorithm MPI
+// implementations use for MPI_Barrier — half the critical path of a
+// reduce+broadcast tree.  Only leaders (local index 0) call it.
+func (c *Comm) leaderDissemination(myNi int) {
+	m := len(c.sh.nodeList)
+	one := []byte{1}
+	in := make([]byte, 1)
+	for dist := 1; dist < m; dist *= 2 {
+		to := (myNi + dist) % m
+		from := (myNi - dist + m) % m
+		reqS := c.r.isend(c.sh.id, one, c.leaderRankGlobal(to), collTag)
+		reqR := c.r.irecv(c.sh.id, in, c.leaderRankGlobal(from), collTag)
+		c.r.waitReq(reqS)
+		c.r.waitReq(reqR)
+	}
+}
+
+// leaderReduce runs a binomial reduction of acc across node leaders, rooted
+// at node index rootNi.  Only leaders (local index 0) call it; acc is
+// rewritten in place on the root node's leader.
+func (c *Comm) leaderReduce(myNi, rootNi int, acc []byte, op collective.Op, dt collective.DType) {
+	m := len(c.sh.nodeList)
+	v := (myNi - rootNi + m) % m
+	toReal := func(u int) int { return (u + rootNi) % m }
+	var tmp []byte
+	for mask := 1; mask < m; mask <<= 1 {
+		if v&mask != 0 {
+			c.sendLeader(acc, toReal(v-mask))
+			return
+		}
+		if v+mask < m {
+			if tmp == nil {
+				tmp = make([]byte, len(acc))
+			}
+			c.recvLeader(tmp[:len(acc)], toReal(v+mask))
+			collective.Accumulate(acc, tmp[:len(acc)], op, dt)
+		}
+	}
+}
+
+// leaderBcast runs a binomial broadcast of buf across the per-node tree
+// agents from node index rootNi.  Every node's agent is its leader except
+// the root's node, whose agent is the root rank itself (rootGlobal; pass -1
+// when the root is known to be its node's leader, as in the all-reduce
+// bridge where the leader itself bridges).  Only agents call it.
+func (c *Comm) leaderBcast(myNi, rootNi, rootGlobal int, buf []byte) {
+	m := len(c.sh.nodeList)
+	agent := func(i int) int {
+		if i == rootNi && rootGlobal >= 0 {
+			return rootGlobal
+		}
+		return c.leaderRankGlobal(i)
+	}
+	v := (myNi - rootNi + m) % m
+	toReal := func(u int) int { return (u + rootNi) % m }
+	mask := 1
+	for mask < m {
+		if v&mask != 0 {
+			req := c.r.irecv(c.sh.id, buf, agent(toReal(v-mask)), collTag)
+			c.r.waitReq(req)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if v+mask < m && v&(mask-1) == 0 && v&mask == 0 {
+			req := c.r.isend(c.sh.id, buf, agent(toReal(v+mask)), collTag)
+			c.r.waitReq(req)
+		}
+		mask >>= 1
+	}
+}
+
+// Split partitions the communicator like MPI_Comm_split: members with equal
+// color form a new communicator, ranked by (key, current rank).  A negative
+// color returns nil (MPI_UNDEFINED).  Split is collective over the
+// communicator.
+func (c *Comm) Split(color, key int) *Comm {
+	c.r.stats.Splits++
+	sh := c.sh
+	sh.splitBuf[c.myRank] = splitEntry{color: color, key: key}
+	c.Barrier() // publish entries
+	c.splitEpoch++
+
+	var newComm *Comm
+	if color >= 0 {
+		type member struct{ key, commRank int }
+		var group []member
+		for cr, e := range sh.splitBuf {
+			if e.color == color {
+				group = append(group, member{e.key, cr})
+			}
+		}
+		sort.Slice(group, func(a, b int) bool {
+			if group[a].key != group[b].key {
+				return group[a].key < group[b].key
+			}
+			return group[a].commRank < group[b].commRank
+		})
+		members := make([]int, len(group))
+		for i, g := range group {
+			members[i] = sh.members[g.commRank]
+		}
+		k := splitKey{parent: sh.id, epoch: c.splitEpoch, color: color}
+		fresh := c.r.rt.newCommShared(members)
+		v, _ := c.r.rt.comms.LoadOrStore(k, fresh)
+		newSh := v.(*commShared)
+		newComm = &Comm{r: c.r, sh: newSh, myRank: newSh.indexOf[c.r.id]}
+	}
+	c.Barrier() // protect splitBuf reuse by the next Split on this comm
+	return newComm
+}
+
+// ---- Extension collectives (beyond the paper's reduce / all-reduce /
+// barrier / broadcast set; root-mediated implementations) ----
+
+// Gather collects every member's equal-sized in payload into root's out
+// buffer (out must hold Size()*len(in) bytes at the root; others may pass
+// nil).  Collective.
+func (c *Comm) Gather(in, out []byte, root int) {
+	c.r.stats.Gathers++
+	c.checkPeer(root, "root")
+	n := c.Size()
+	if c.myRank == root {
+		if len(out) < n*len(in) {
+			panic(fmt.Sprintf("core: Gather root buffer %d too small for %d x %d", len(out), n, len(in)))
+		}
+		copy(out[root*len(in):], in)
+		for cr := 0; cr < n; cr++ {
+			if cr == root {
+				continue
+			}
+			req := c.r.irecv(c.sh.id, out[cr*len(in):(cr+1)*len(in)], c.sh.members[cr], collTag)
+			c.r.waitReq(req)
+		}
+		return
+	}
+	req := c.r.isend(c.sh.id, in, c.sh.members[root], collTag)
+	c.r.waitReq(req)
+}
+
+// Allgather collects every member's in payload into every member's out
+// buffer (Size()*len(in) bytes): a gather to rank 0 followed by a broadcast.
+func (c *Comm) Allgather(in, out []byte) {
+	if len(out) < c.Size()*len(in) {
+		panic(fmt.Sprintf("core: Allgather buffer %d too small for %d x %d", len(out), c.Size(), len(in)))
+	}
+	c.Gather(in, out, 0)
+	c.Bcast(out[:c.Size()*len(in)], 0)
+}
+
+// Scatter distributes contiguous len(out)-byte slices of root's in buffer
+// to each member's out buffer (in must hold Size()*len(out) bytes at the
+// root; others may pass nil).  Collective.
+func (c *Comm) Scatter(in, out []byte, root int) {
+	c.r.stats.Scatters++
+	c.checkPeer(root, "root")
+	n := c.Size()
+	if c.myRank == root {
+		if len(in) < n*len(out) {
+			panic(fmt.Sprintf("core: Scatter root buffer %d too small for %d x %d", len(in), n, len(out)))
+		}
+		copy(out, in[root*len(out):(root+1)*len(out)])
+		for cr := 0; cr < n; cr++ {
+			if cr == root {
+				continue
+			}
+			req := c.r.isend(c.sh.id, in[cr*len(out):(cr+1)*len(out)], c.sh.members[cr], collTag)
+			c.r.waitReq(req)
+		}
+		return
+	}
+	req := c.r.irecv(c.sh.id, out, c.sh.members[root], collTag)
+	c.r.waitReq(req)
+}
+
+// Sendrecv posts the receive, performs the send, and completes both — the
+// deadlock-free paired exchange (the analogue of MPI_Sendrecv, which the
+// halo exchanges in the bundled apps hand-roll).  It returns the received
+// byte count.
+func (c *Comm) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) int {
+	c.checkPeer(dst, "destination")
+	c.checkPeer(src, "source")
+	checkTag(sendTag)
+	checkTag(recvTag)
+	rreq := c.r.irecv(c.sh.id, recvBuf, c.sh.members[src], recvTag)
+	sreq := c.r.isend(c.sh.id, sendBuf, c.sh.members[dst], sendTag)
+	c.r.waitReq(sreq)
+	return c.r.waitReq(rreq)
+}

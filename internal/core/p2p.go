@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/queue"
+)
+
+// chanKey identifies a persistent point-to-point channel: the paper's
+// Channel Manager "maps message arguments (e.g., ranks, tags, datatypes,
+// etc.) to the appropriate data structure, creating it on-demand if needed".
+// Ranks here are global rank ids; comm is the communicator id (messages on
+// different communicators never match).
+type chanKey struct {
+	src, dst int
+	tag      int
+	comm     uint64
+}
+
+// channel is an intra-node point-to-point channel.  The eager (PBQ) and
+// rendezvous structures are created lazily on first use of each protocol.
+// The pending-request lists are single-owner: sendPend belongs to the sender
+// rank and recvPend to the receiver rank, so neither needs a lock.
+type channel struct {
+	pbqOnce  atomic.Pointer[queue.PBQ]
+	rvzOnce  atomic.Pointer[queue.RendezvousChannel]
+	sendPend reqList // owned by sender
+	recvPend reqList // owned by receiver
+	recvSeq  uint64  // rendezvous ticket counter, owned by receiver
+}
+
+// reqList is a tiny FIFO of in-flight requests, owned by one rank.
+type reqList struct {
+	q []*Request
+}
+
+func (l *reqList) push(r *Request) { l.q = append(l.q, r) }
+func (l *reqList) head() *Request {
+	if len(l.q) == 0 {
+		return nil
+	}
+	return l.q[0]
+}
+func (l *reqList) pop() {
+	l.q[0] = nil
+	l.q = l.q[1:]
+	if len(l.q) == 0 {
+		l.q = nil // reset backing array so it can't grow without bound
+	}
+}
+
+// remoteChannel is an inter-node channel.  In the paper this is MPI_Send /
+// MPI_Recv with sender/receiver thread ids encoded in the tag's upper bits;
+// here it is an ordered mailbox whose enqueue pays the modeled network cost
+// and contends on the destination node's "NIC" lock (the
+// MPI_THREAD_MULTIPLE serialization Pure accepts on this path).
+type remoteChannel struct {
+	n    atomic.Int64 // buffered message count (lock-free emptiness probe)
+	mu   chanMutex
+	msgs [][]byte
+}
+
+// chanMutex is a tiny spinlock; contention on it plays the role of the MPI
+// runtime's internal lock.
+type chanMutex struct{ state atomic.Int32 }
+
+func (m *chanMutex) lock() {
+	for !m.state.CompareAndSwap(0, 1) {
+		gosched()
+	}
+}
+func (m *chanMutex) unlock() { m.state.Store(0) }
+
+// getChannel returns the persistent intra-node channel for key, creating it
+// on demand (paper §4.1: "we allocate a persistent 'channel' object that is
+// stored in the runtime system and is reused throughout the program").
+func (r *Rank) getChannel(key chanKey) *channel {
+	if ch, ok := r.chanCache[key]; ok {
+		return ch
+	}
+	v, _ := r.rt.channels.LoadOrStore(key, &channel{})
+	ch := v.(*channel)
+	r.chanCache[key] = ch
+	return ch
+}
+
+func (r *Rank) getRemote(key chanKey) *remoteChannel {
+	if ch, ok := r.remCache[key]; ok {
+		return ch
+	}
+	v, _ := r.rt.remotes.LoadOrStore(key, &remoteChannel{})
+	ch := v.(*remoteChannel)
+	r.remCache[key] = ch
+	return ch
+}
+
+func (ch *channel) pbq(slots, maxPayload int) *queue.PBQ {
+	if q := ch.pbqOnce.Load(); q != nil {
+		return q
+	}
+	q := queue.NewPBQ(slots, maxPayload)
+	if ch.pbqOnce.CompareAndSwap(nil, q) {
+		return q
+	}
+	return ch.pbqOnce.Load()
+}
+
+func (ch *channel) rvz(depth int) *queue.RendezvousChannel {
+	if q := ch.rvzOnce.Load(); q != nil {
+		return q
+	}
+	q := queue.NewRendezvousChannel(depth)
+	if ch.rvzOnce.CompareAndSwap(nil, q) {
+		return q
+	}
+	return ch.rvzOnce.Load()
+}
+
+// reqKind identifies a request's protocol path.
+type reqKind uint8
+
+const (
+	reqSendEager reqKind = iota
+	reqSendRvz
+	reqRecvEager
+	reqRecvRvz
+	reqRemoteSend
+	reqRemoteRecv
+)
+
+// Request is an in-flight nonblocking operation (the analogue of
+// MPI_Request).  A request belongs to the rank that created it.
+type Request struct {
+	kind   reqKind
+	ch     *channel
+	rem    *remoteChannel
+	buf    []byte
+	seq    uint64 // rendezvous ticket (recv side)
+	posted bool   // rendezvous recv: envelope pushed
+	done   bool
+	n      int // bytes transferred (recv side)
+}
+
+// Done reports whether the request has completed.  Completion only advances
+// inside Wait/Test/progress calls made by the owning rank.
+func (q *Request) Done() bool { return q.done }
+
+// Bytes returns the received byte count of a completed receive request.
+func (q *Request) Bytes() int { return q.n }
+
+// EncodeInterNodeTag reproduces the paper's inter-node tag encoding: the
+// sender and receiver thread numbers (within their processes) are packed
+// into the upper bits of the MPI tag (paper §4.1.3; 6 bits each covered the
+// 64 threads per node used in the evaluation).  The mailbox transport does
+// not need this — channels are keyed by global ranks — but the encoding is
+// kept (and tested) as the documented wire format.
+func EncodeInterNodeTag(tag, srcLocal, dstLocal, bits int) (int, error) {
+	if bits <= 0 || bits > 12 {
+		return 0, fmt.Errorf("core: thread-id field of %d bits out of range", bits)
+	}
+	limit := 1 << bits
+	if srcLocal < 0 || srcLocal >= limit || dstLocal < 0 || dstLocal >= limit {
+		return 0, fmt.Errorf("core: thread ids (%d, %d) do not fit in %d bits", srcLocal, dstLocal, bits)
+	}
+	if tag < 0 || tag >= 1<<(31-2*bits-1) {
+		return 0, fmt.Errorf("core: tag %d overflows with 2x%d thread-id bits", tag, bits)
+	}
+	return tag | srcLocal<<(31-2*bits) | dstLocal<<(31-bits), nil
+}
+
+// DecodeInterNodeTag inverts EncodeInterNodeTag.
+func DecodeInterNodeTag(enc, bits int) (tag, srcLocal, dstLocal int) {
+	mask := 1<<bits - 1
+	srcLocal = (enc >> (31 - 2*bits)) & mask
+	dstLocal = (enc >> (31 - bits)) & mask
+	tag = enc & (1<<(31-2*bits) - 1)
+	return
+}
+
+// ---- Point-to-point operations (rank-level; Comm wraps these with rank
+// translation) ----
+
+// isend starts a send of buf to global rank dst.  Eager sends complete as
+// soon as the payload is buffered (MPI buffered-send semantics: the caller
+// may reuse buf immediately after the request completes).  Rendezvous sends
+// complete once the payload has been copied into the receiver's buffer.
+func (r *Rank) isend(commID uint64, buf []byte, dst, tag int) *Request {
+	if dst == r.id {
+		panic("core: self-send is not supported; ranks are threads, use local state")
+	}
+	key := chanKey{src: r.id, dst: dst, tag: tag, comm: commID}
+	r.stats.BytesSent += int64(len(buf))
+	if !r.rt.place.SameNode(r.id, dst) {
+		r.stats.SendsRemote++
+		req := &Request{kind: reqRemoteSend, buf: buf}
+		r.remoteSend(key, buf)
+		req.done = true
+		return req
+	}
+	ch := r.getChannel(key)
+	var req *Request
+	if len(buf) < r.rt.cfg.SmallMsgMax {
+		r.stats.SendsEager++
+		req = &Request{kind: reqSendEager, ch: ch, buf: buf}
+	} else {
+		r.stats.SendsRendezvous++
+		req = &Request{kind: reqSendRvz, ch: ch, buf: buf}
+	}
+	ch.sendPend.push(req)
+	r.progressSend(ch) // opportunistic completion
+	return req
+}
+
+// irecv starts a receive into buf from global rank src.  The received
+// message must be exactly len(buf) bytes for the rendezvous path and at
+// most len(buf) for the eager path; Pure's channels are persistent and
+// size-keyed, so both endpoints of a message must sit on the same side of
+// the SmallMsgMax threshold (see package pure documentation).
+func (r *Rank) irecv(commID uint64, buf []byte, src, tag int) *Request {
+	if src == r.id {
+		panic("core: self-receive is not supported")
+	}
+	key := chanKey{src: src, dst: r.id, tag: tag, comm: commID}
+	if !r.rt.place.SameNode(r.id, src) {
+		r.stats.RecvsRemote++
+		req := &Request{kind: reqRemoteRecv, rem: r.getRemote(key), buf: buf}
+		return req
+	}
+	ch := r.getChannel(key)
+	var req *Request
+	if len(buf) < r.rt.cfg.SmallMsgMax {
+		r.stats.RecvsEager++
+		req = &Request{kind: reqRecvEager, ch: ch, buf: buf}
+	} else {
+		r.stats.RecvsRendezvous++
+		req = &Request{kind: reqRecvRvz, ch: ch, buf: buf}
+	}
+	ch.recvPend.push(req)
+	r.progressRecv(ch)
+	return req
+}
+
+// waitReq blocks (in the SSW-Loop) until req completes and returns the byte
+// count for receives.
+func (r *Rank) waitReq(req *Request) int {
+	switch req.kind {
+	case reqRemoteSend:
+		// completed at post time
+	case reqRemoteRecv:
+		r.wait.Wait(func() bool {
+			if req.done {
+				return true
+			}
+			r.progressRemoteRecv(req)
+			return req.done
+		})
+	default:
+		ch := req.ch
+		r.wait.Wait(func() bool {
+			if req.done {
+				return true
+			}
+			if req.kind == reqSendEager || req.kind == reqSendRvz {
+				r.progressSend(ch)
+			} else {
+				r.progressRecv(ch)
+			}
+			return req.done
+		})
+	}
+	return req.n
+}
+
+// progressSend advances the sender-side pending list head of ch.
+func (r *Rank) progressSend(ch *channel) {
+	for {
+		req := ch.sendPend.head()
+		if req == nil {
+			return
+		}
+		switch req.kind {
+		case reqSendEager:
+			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
+			if !q.TryEnqueue(req.buf) {
+				return // queue full; retry on next progress call
+			}
+		case reqSendRvz:
+			// Single-copy: claim the receiver's posted envelope, copy the
+			// payload straight into the destination buffer, then signal the
+			// byte count on the completion queue (paper §4.1.2).
+			rz := ch.rvz(r.rt.cfg.RendezvousDepth)
+			env, ok := rz.Envelopes.TryPop()
+			if !ok {
+				return // receiver has not posted yet
+			}
+			if len(req.buf) > len(env.Dest) {
+				panic(fmt.Sprintf("core: %d-byte message overflows %d-byte posted receive buffer",
+					len(req.buf), len(env.Dest)))
+			}
+			n := copy(env.Dest, req.buf)
+			for !rz.Completions.TryPush(queue.Completion{Bytes: n, Seq: env.Seq}) {
+				gosched() // completion ring full: receiver must drain; bounded wait
+			}
+		}
+		req.done = true
+		req.n = len(req.buf)
+		ch.sendPend.pop()
+	}
+}
+
+// progressRecv advances the receiver-side pending list head of ch.
+func (r *Rank) progressRecv(ch *channel) {
+	for {
+		req := ch.recvPend.head()
+		if req == nil {
+			return
+		}
+		switch req.kind {
+		case reqRecvEager:
+			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
+			n, ok := q.TryDequeue(req.buf)
+			if !ok {
+				return
+			}
+			req.n = n
+			r.stats.BytesReceived += int64(n)
+		case reqRecvRvz:
+			rz := ch.rvz(r.rt.cfg.RendezvousDepth)
+			if !req.posted {
+				ch.recvSeq++
+				req.seq = ch.recvSeq
+				if !rz.Envelopes.TryPush(queue.Envelope{Dest: req.buf, Seq: req.seq}) {
+					ch.recvSeq-- // envelope ring full; repost later
+					return
+				}
+				req.posted = true
+			}
+			c, ok := rz.Completions.Peek()
+			if !ok || c.Seq != req.seq {
+				return // our transfer has not completed yet (completions are FIFO)
+			}
+			rz.Completions.TryPop()
+			req.n = c.Bytes
+			r.stats.BytesReceived += int64(c.Bytes)
+		}
+		req.done = true
+		ch.recvPend.pop()
+	}
+}
+
+// remoteSend delivers buf to a rank on another node: pay the modeled wire
+// time, then append to the destination mailbox under the destination node's
+// NIC lock.
+func (r *Rank) remoteSend(key chanKey, buf []byte) {
+	rc := r.getRemote(key)
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	r.rt.net.Transfer(len(buf))
+	dstNode := r.rt.place.NodeOf(key.dst)
+	nic := &r.rt.nodes[dstNode].nic
+	nic.Lock()
+	rc.mu.lock()
+	rc.msgs = append(rc.msgs, cp)
+	rc.n.Add(1)
+	rc.mu.unlock()
+	nic.Unlock()
+}
+
+// progressRemoteRecv completes a remote receive if a message has arrived.
+func (r *Rank) progressRemoteRecv(req *Request) {
+	rc := req.rem
+	if rc.n.Load() == 0 {
+		return
+	}
+	rc.mu.lock()
+	if len(rc.msgs) == 0 {
+		rc.mu.unlock()
+		return
+	}
+	msg := rc.msgs[0]
+	rc.msgs[0] = nil
+	rc.msgs = rc.msgs[1:]
+	if len(rc.msgs) == 0 {
+		rc.msgs = nil
+	}
+	rc.n.Add(-1)
+	rc.mu.unlock()
+	if len(msg) > len(req.buf) {
+		panic(fmt.Sprintf("core: %d-byte message overflows %d-byte receive buffer", len(msg), len(req.buf)))
+	}
+	req.n = copy(req.buf, msg)
+	r.stats.BytesReceived += int64(req.n)
+	req.done = true
+}

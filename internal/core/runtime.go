@@ -1,0 +1,313 @@
+// Package core is the Pure runtime system (paper §4): a multithreaded,
+// "distributed" runtime in which application ranks are goroutines (the
+// paper uses kernel threads) that communicate through lock-free shared
+// memory structures within a node and through a modeled network across
+// nodes.
+//
+// The runtime owns: rank bootstrap and placement; the channel manager that
+// maps message arguments to persistent channel objects; the point-to-point
+// eager (PureBufferQueue) and rendezvous protocols; lock-free collectives
+// (SPTD and Partitioned Reducer) bridged across nodes; communicators; and
+// the Pure Task scheduler with SSW-Loop work stealing.
+//
+// The public package pure wraps this with the application-facing API.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/ssw"
+	"repro/internal/topology"
+)
+
+// Default tuning values, matching the paper's configuration where reported.
+const (
+	// DefaultSmallMsgMax is the eager/rendezvous threshold (paper: 8 KiB,
+	// configurable; Appendix C sweeps it).
+	DefaultSmallMsgMax = 8 << 10
+	// DefaultPBQSlots is the PureBufferQueue depth (paper: "the configurable
+	// number of slots within the PBQ was not a material performance driver").
+	DefaultPBQSlots = 16
+	// DefaultSPTDMax is the small-collective payload bound (paper: SPTD used
+	// for arrays up to 2 KiB, Partitioned Reducer beyond).
+	DefaultSPTDMax = 2 << 10
+	// DefaultRendezvousDepth bounds outstanding posted large receives per channel.
+	DefaultRendezvousDepth = 16
+	// DefaultTaskChunks is the default number of chunks a task splits into
+	// (the paper's PURE_MAX_TASK_CHUNKS Makefile variable).
+	DefaultTaskChunks = 64
+)
+
+// Config configures a Pure program launch.
+type Config struct {
+	// NRanks is the number of application ranks (fixed for the program).
+	NRanks int
+	// Spec is the virtual cluster to place ranks on.  Zero value means a
+	// single node large enough for all ranks.
+	Spec topology.Spec
+	// RanksPerNode caps ranks per node (0 = node capacity).
+	RanksPerNode int
+	// Policy/Seats select the rank-to-hardware mapping (topology package).
+	Policy topology.Policy
+	Seats  []topology.HWThread
+
+	// SmallMsgMax is the eager/rendezvous protocol threshold in bytes.
+	SmallMsgMax int
+	// PBQSlots is the eager queue depth per channel.
+	PBQSlots int
+	// SPTDMax is the SPTD/PartitionedReducer collective threshold in bytes.
+	SPTDMax int
+	// RendezvousDepth is the envelope queue depth per channel.
+	RendezvousDepth int
+	// SpinBudget is the SSW-Loop probe count between yields.
+	SpinBudget int
+
+	// Net is the inter-node cost model (netsim.Loopback() for 1 node).
+	Net netsim.Config
+
+	// HelpersPerNode starts that many pure helper threads on each node
+	// (threads that only steal; paper §5.1, DT class A).
+	HelpersPerNode int
+	// ChunkMode / StealPolicy / OwnerSteals configure the task scheduler.
+	ChunkMode   sched.ChunkMode
+	StealPolicy sched.StealPolicy
+	OwnerSteals bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.NRanks <= 0 {
+		return cfg, fmt.Errorf("core: NRanks must be positive, got %d", cfg.NRanks)
+	}
+	if cfg.Spec == (topology.Spec{}) {
+		cfg.Spec = topology.Spec{Nodes: 1, SocketsPerNode: 1, CoresPerSocket: cfg.NRanks, ThreadsPerCore: 1}
+	}
+	if cfg.SmallMsgMax <= 0 {
+		cfg.SmallMsgMax = DefaultSmallMsgMax
+	}
+	if cfg.PBQSlots <= 0 {
+		cfg.PBQSlots = DefaultPBQSlots
+	}
+	if cfg.SPTDMax <= 0 {
+		cfg.SPTDMax = DefaultSPTDMax
+	}
+	if cfg.RendezvousDepth <= 0 {
+		cfg.RendezvousDepth = DefaultRendezvousDepth
+	}
+	return cfg, nil
+}
+
+// nodeState is the per-node shared state: the task scheduler (active_tasks
+// array) and the node's "NIC" lock, which models the MPI_THREAD_MULTIPLE
+// serialization Pure pays on its inter-node path (paper §4.1.3).
+type nodeState struct {
+	sched      *sched.Scheduler
+	nic        sync.Mutex
+	helperStop chan struct{}
+	helperWG   *sync.WaitGroup
+	nRanks     int // application ranks on this node (helpers get slots after)
+}
+
+// Runtime is one Pure program instance.
+type Runtime struct {
+	cfg   Config
+	place *topology.Placement
+	net   *netsim.Network
+	nodes []*nodeState
+
+	channels sync.Map // chanKey -> *channel   (intra-node)
+	remotes  sync.Map // chanKey -> *remoteChannel (inter-node)
+	comms    sync.Map // splitKey -> *commShared
+	commIDs  atomic.Uint64
+
+	world *commShared
+}
+
+// Rank is one application rank's runtime handle.  Every runtime call a rank
+// makes goes through its Rank (ranks must not share handles).
+type Rank struct {
+	id    int
+	rt    *Runtime
+	node  int
+	local int // index among the node's ranks ("thread number in the process")
+	thief *sched.Thief
+	wait  ssw.Waiter
+	world *Comm
+	stats RankStats
+
+	// chanCache avoids the shared channel-manager map on the fast path; the
+	// paper's channels are persistent objects reused for the whole program.
+	chanCache map[chanKey]*channel
+	remCache  map[chanKey]*remoteChannel
+}
+
+// ID returns the rank's global id in [0, NRanks).
+func (r *Rank) ID() int { return r.id }
+
+// NRanks returns the total rank count.
+func (r *Rank) NRanks() int { return r.rt.cfg.NRanks }
+
+// Node returns the rank's node index.
+func (r *Rank) Node() int { return r.node }
+
+// World returns the world communicator handle for this rank.
+func (r *Rank) World() *Comm { return r.world }
+
+// Runtime returns the owning runtime (for tooling/diagnostics).
+func (r *Rank) Runtime() *Runtime { return r.rt }
+
+// Placement exposes the rank-to-hardware mapping.
+func (rt *Runtime) Placement() *topology.Placement { return rt.place }
+
+// Config returns the resolved configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Run bootstraps a Pure program: it builds the placement, the per-node
+// schedulers and helper threads, and the world communicator, then launches
+// NRanks goroutines each executing main (the application's __original_main
+// in the paper's bootstrap, §4.0.1) and waits for them all to return.
+func Run(cfg Config, main func(r *Rank)) error {
+	return runInternal(cfg, main, nil)
+}
+
+// runInternal is Run with an optional post-run hook over the rank handles
+// (used by RunWithStats to harvest profiling counters).
+func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
+	rcfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	place, err := topology.NewPlacement(rcfg.Spec, rcfg.NRanks, rcfg.RanksPerNode, rcfg.Policy, rcfg.Seats)
+	if err != nil {
+		return fmt.Errorf("core: placing ranks: %w", err)
+	}
+	rt := &Runtime{cfg: rcfg, place: place, net: netsim.New(rcfg.Net)}
+	rt.nodes = make([]*nodeState, rcfg.Spec.Nodes)
+	for n := range rt.nodes {
+		nRanks := len(place.RanksOnNode(n))
+		if nRanks == 0 {
+			continue
+		}
+		slots := nRanks + rcfg.HelpersPerNode
+		var socketOf []int
+		if rcfg.StealPolicy == sched.NUMAAwareSteal {
+			socketOf = make([]int, slots)
+			for i, rank := range place.RanksOnNode(n) {
+				socketOf[i] = place.SocketOf(rank)
+			}
+		}
+		rt.nodes[n] = &nodeState{
+			sched: sched.New(sched.Config{
+				Slots:       slots,
+				ChunkMode:   rcfg.ChunkMode,
+				Policy:      rcfg.StealPolicy,
+				SocketOf:    socketOf,
+				OwnerSteals: rcfg.OwnerSteals,
+			}),
+			nRanks: nRanks,
+		}
+	}
+	rt.world = rt.newCommShared(allRanks(rcfg.NRanks))
+
+	// Adaptive SSW spin budget: the paper pins one rank per hardware thread
+	// and spins freely.  When this host cannot do that (goroutine ranks
+	// oversubscribed onto fewer cores), long spins only delay the scheduler
+	// from running the peer, so default to a near-immediate yield.
+	if rcfg.SpinBudget == 0 {
+		maxOnNode := 0
+		for n := 0; n < rcfg.Spec.Nodes; n++ {
+			if l := len(place.RanksOnNode(n)) + rcfg.HelpersPerNode; l > maxOnNode {
+				maxOnNode = l
+			}
+		}
+		if runtime.GOMAXPROCS(0) >= maxOnNode {
+			rt.cfg.SpinBudget = ssw.DefaultSpinBudget
+		} else {
+			rt.cfg.SpinBudget = 2
+		}
+	}
+
+	// Start helper threads (paper: "extra threads that continuously try to
+	// steal work", used when ranks don't cover all hardware threads).
+	if rcfg.HelpersPerNode > 0 {
+		for _, ns := range rt.nodes {
+			if ns == nil {
+				continue
+			}
+			ns.helperStop = make(chan struct{})
+			ns.helperWG = ns.sched.Helpers(ns.nRanks, rcfg.HelpersPerNode, ns.helperStop)
+		}
+	}
+
+	var wg sync.WaitGroup
+	panics := make(chan any, rcfg.NRanks)
+	ranks := make([]*Rank, rcfg.NRanks)
+	for id := 0; id < rcfg.NRanks; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("rank %d: %v", id, p)
+				}
+			}()
+			r := rt.newRank(id)
+			ranks[id] = r
+			main(r)
+		}(id)
+	}
+	wg.Wait()
+	if harvest != nil {
+		harvest(ranks)
+	}
+
+	if rcfg.HelpersPerNode > 0 {
+		for _, ns := range rt.nodes {
+			if ns == nil || ns.helperStop == nil {
+				continue
+			}
+			close(ns.helperStop)
+			ns.helperWG.Wait()
+		}
+	}
+	close(panics)
+	if p, ok := <-panics; ok {
+		return fmt.Errorf("core: rank panicked: %v", p)
+	}
+	return nil
+}
+
+func (rt *Runtime) newRank(id int) *Rank {
+	node := rt.place.NodeOf(id)
+	local := rt.place.LocalIndex(id)
+	r := &Rank{
+		id:        id,
+		rt:        rt,
+		node:      node,
+		local:     local,
+		chanCache: make(map[chanKey]*channel),
+		remCache:  make(map[chanKey]*remoteChannel),
+	}
+	r.thief = rt.nodes[node].sched.NewThief(local)
+	r.wait = ssw.Waiter{Steal: r.thief, SpinBudget: rt.cfg.SpinBudget}
+	r.world = &Comm{r: r, sh: rt.world, myRank: id}
+	return r
+}
+
+func allRanks(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// StealStats reports a rank's lifetime stealing counters (diagnostics).
+func (r *Rank) StealStats() (attempts, stolen int64) {
+	return r.thief.Attempts, r.thief.Stolen
+}

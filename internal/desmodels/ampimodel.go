@@ -1,0 +1,300 @@
+package desmodels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// The AMPI model (the paper's §5.2.2 comparison): virtualized MPI ranks
+// ("vranks") over-decomposed vp-to-one onto processing elements (PEs, one
+// per core), with a periodic measurement-based greedy load balancer that
+// migrates vranks between PEs.  Contrast with Pure, which shares *chunks*
+// at communication-latency granularity; AMPI shares whole ranks at
+// load-balancer granularity — the coarseness that Fig. 5c exposes.
+//
+// Modes:
+//   - non-SMP: each PE is an OS process; vrank messages between PEs pay
+//     full MPI process costs (within or across nodes).
+//   - SMP: one process per node with a communication thread; intra-node
+//     messages between vranks take the faster threaded path, and the SMP
+//     configuration gets the extra comm-thread hardware the paper grants it.
+
+// AMPIOpts configures the model.
+type AMPIOpts struct {
+	// VP is the virtualization ratio (vranks per PE): 1, 2, 4 in the paper.
+	VP int
+	// SMP selects the threaded node-process mode.
+	SMP bool
+	// CoresPerNode is the PE count per node (default 64).
+	CoresPerNode int
+	// StateBytes is the migration payload per vrank (default 64 KiB).
+	StateBytes int
+}
+
+type ampiMachine struct {
+	*machine
+	opts        AMPIOpts
+	peOf        []int // vrank -> PE
+	peNode      []int // PE -> node
+	peTok       []*cluster.Chan[int]
+	loads       []int64 // per-vrank compute since last LB
+	pendingMove []bool  // vranks that must pay a migration after the next barrier
+	nv          int
+	moved       int64 // total migrations (stats)
+}
+
+type ampiRank struct {
+	m    *ampiMachine
+	p    *cluster.Proc
+	r, n int
+	step int
+}
+
+// RunAMPI simulates prog over nv virtual ranks with the given options and
+// returns (virtual ns, migrations performed).
+func RunAMPI(nv int, costs CostModel, opts AMPIOpts, prog func(VCtx)) (int64, int64, error) {
+	if opts.VP <= 0 {
+		opts.VP = 1
+	}
+	if opts.CoresPerNode <= 0 {
+		opts.CoresPerNode = 64
+	}
+	if opts.StateBytes <= 0 {
+		opts.StateBytes = 64 << 10
+	}
+	if nv%opts.VP != 0 {
+		return 0, 0, fmt.Errorf("desmodels: %d vranks not divisible by vp=%d", nv, opts.VP)
+	}
+	npe := nv / opts.VP
+	nodes := (npe + opts.CoresPerNode - 1) / opts.CoresPerNode
+	place, err := defaultPlacement(max(nodes, 1), 1) // placement only anchors the engine; PE->node is explicit
+	if err != nil {
+		return 0, 0, err
+	}
+	m := &ampiMachine{
+		machine:     newMachine(place, costs),
+		opts:        opts,
+		peOf:        make([]int, nv),
+		peNode:      make([]int, npe),
+		peTok:       make([]*cluster.Chan[int], npe),
+		loads:       make([]int64, nv),
+		pendingMove: make([]bool, nv),
+		nv:          nv,
+	}
+	for pe := 0; pe < npe; pe++ {
+		m.peNode[pe] = pe / opts.CoresPerNode
+		m.peTok[pe] = cluster.NewChan[int](m.eng, fmt.Sprintf("pe%d", pe))
+		m.peTok[pe].Send(1) // the PE's execution token
+	}
+	for v := 0; v < nv; v++ {
+		m.peOf[v] = v / opts.VP // block assignment, like AMPI's default map
+	}
+	for r := 0; r < nv; r++ {
+		rr := r
+		m.eng.Spawn(fmt.Sprintf("ampi%d", rr), func(p *cluster.Proc) {
+			prog(&ampiRank{m: m, p: p, r: rr, n: nv})
+		})
+	}
+	end, err := m.eng.Run()
+	return end, m.moved, err
+}
+
+func (v *ampiRank) Rank() int { return v.r }
+func (v *ampiRank) Size() int { return v.n }
+
+// Compute occupies the vrank's PE exclusively: co-located vranks serialize,
+// which is how overdecomposition hides communication latency (another vrank
+// runs while this one blocks) but also adds switch overhead.
+func (v *ampiRank) Compute(ns int64) {
+	tok := v.m.peTok[v.m.peOf[v.r]]
+	tok.Recv(v.p)
+	v.p.Delay(v.m.costs.AMPISwitch + ns)
+	v.m.loads[v.r] += ns
+	// Re-read the PE in case the balancer moved us while we computed (the
+	// token must return to the PE we took it from).
+	tok.Send(1)
+}
+
+// Task executes serially on the owning vrank (AMPI shares load by moving
+// ranks, not chunks).
+func (v *ampiRank) Task(chunks []int64) {
+	var sum int64
+	for _, c := range chunks {
+		sum += c
+	}
+	v.Compute(sum)
+}
+
+// nodeOf returns the node currently hosting a vrank.
+func (m *ampiMachine) nodeOf(v int) int { return m.peNode[m.peOf[v]] }
+
+func (v *ampiRank) Send(dst, bytes, tag int) {
+	m := v.m
+	c := m.costs
+	ch := m.chanFor(msgKey{src: v.r, dst: dst, tag: tag})
+	sameNode := m.nodeOf(v.r) == m.nodeOf(dst)
+	samePE := m.peOf[v.r] == m.peOf[dst]
+	switch {
+	case samePE:
+		// User-level threads on one PE: a queue hand-off.
+		v.p.Delay(c.PureSendOverhead)
+		ch.SendAfter(vmsg{bytes: bytes}, c.PureLatSameCore+int64(float64(bytes)*c.PureEagerPerByte))
+	case sameNode && m.opts.SMP:
+		// SMP mode: threads within the node process.
+		v.p.Delay(c.PureSendOverhead * 2)
+		ch.SendAfter(vmsg{bytes: bytes}, c.MPIIntraLatency/2+int64(float64(bytes)*c.PureEagerPerByte))
+	case sameNode:
+		// non-SMP: full process-to-process intra-node path.
+		v.p.Delay(c.MPISendOverhead + int64(float64(bytes)*c.MPIEagerPerByte))
+		ch.SendAfter(vmsg{bytes: bytes}, c.MPIIntraLatency)
+	default:
+		v.p.Delay(c.MPISendOverhead)
+		ch.SendAfter(vmsg{bytes: bytes}, m.netDelay(bytes))
+	}
+}
+
+func (v *ampiRank) Recv(src, bytes, tag int) {
+	ch := v.m.chanFor(msgKey{src: src, dst: v.r, tag: tag})
+	ch.Recv(v.p)
+	v.p.Delay(v.m.costs.MPIRecvOverhead)
+}
+
+// Collectives: software trees over the vrank p2p layer (AMPI inherits
+// MPI-style algorithms).
+func (v *ampiRank) Barrier() {
+	n := v.n
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		v.Send((v.r+dist)%n, 1, internalTag+round)
+		v.Recv((v.r-dist+n)%n, 1, internalTag+round)
+	}
+}
+
+func (v *ampiRank) Allreduce(bytes int) {
+	n := v.n
+	for mask := 1; mask < n; mask <<= 1 {
+		if v.r&mask != 0 {
+			v.Send(v.r-mask, bytes, internalTag+32)
+			break
+		}
+		if v.r+mask < n {
+			v.Recv(v.r+mask, bytes, internalTag+32)
+			v.p.Delay(int64(float64(bytes) * v.m.costs.SPTDFoldPerByte))
+		}
+	}
+	v.Bcast(bytes, 0)
+}
+
+func (v *ampiRank) Bcast(bytes, root int) {
+	n := v.n
+	vr := (v.r - root + n) % n
+	toReal := func(u int) int { return (u + root) % n }
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			v.Recv(toReal(vr-mask), bytes, internalTag+33)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < n {
+			v.Send(toReal(vr+mask), bytes, internalTag+33)
+		}
+		mask >>= 1
+	}
+}
+
+// StepEnd triggers the measurement-based load balancer every AMPILBPeriod
+// steps: synchronize, greedy-reassign vranks to PEs by measured load,
+// charge migration costs, resume.
+func (v *ampiRank) StepEnd() {
+	v.step++
+	period := v.m.costs.AMPILBPeriod
+	if period <= 0 || v.step%period != 0 {
+		return
+	}
+	m := v.m
+	v.Barrier()
+	var migrated bool
+	if v.r == 0 {
+		// Central balancer: cost scales with the vrank count.
+		v.p.Delay(int64(m.nv) * 120)
+		m.rebalance()
+	}
+	v.Barrier() // everyone sees the new assignment
+	if m.pendingMove[v.r] {
+		migrated = true
+		m.pendingMove[v.r] = false
+	}
+	if migrated {
+		v.p.Delay(m.costs.AMPIMigrateFixed + int64(float64(m.opts.StateBytes)*m.costs.AMPIMigratePerByte))
+	}
+	v.Barrier()
+}
+
+// rebalance greedily reassigns vranks to PEs by descending measured load
+// (longest-processing-time heuristic) and marks movers.
+func (m *ampiMachine) rebalance() int {
+	type vl struct {
+		v    int
+		load int64
+	}
+	vs := make([]vl, m.nv)
+	for i := range vs {
+		vs[i] = vl{v: i, load: m.loads[i]}
+	}
+	sort.Slice(vs, func(a, b int) bool {
+		if vs[a].load != vs[b].load {
+			return vs[a].load > vs[b].load
+		}
+		return vs[a].v < vs[b].v
+	})
+	npe := len(m.peTok)
+	peLoad := make([]int64, npe)
+	peCount := make([]int, npe)
+	newPE := make([]int, m.nv)
+	for _, e := range vs {
+		best := 0
+		for pe := 1; pe < npe; pe++ {
+			if peCount[pe] < m.opts.VP && (peCount[best] >= m.opts.VP || peLoad[pe] < peLoad[best]) {
+				best = pe
+			}
+		}
+		newPE[e.v] = best
+		peLoad[best] += e.load
+		peCount[best]++
+	}
+	moved := 0
+	for vr := 0; vr < m.nv; vr++ {
+		if newPE[vr] != m.peOf[vr] {
+			m.pendingMove[vr] = true
+			m.peOf[vr] = newPE[vr]
+			m.moved++
+			moved++
+		}
+		m.loads[vr] = 0
+	}
+	return moved
+}
+
+// Irecv posts a receive.  AMPI sends never block in this model, so the
+// deferred form simply records the channel for Wait.
+func (v *ampiRank) Irecv(src, bytes, tag int) Pending {
+	key := msgKey{src: src, dst: v.r, tag: tag}
+	ch := v.m.chanFor(key)
+	pr := &precv{bytes: bytes, intra: v.m.nodeOf(v.r) == v.m.nodeOf(src)}
+	pr.ampiCh = ch
+	return pr
+}
+
+// Wait completes a posted receive.
+func (v *ampiRank) Wait(pr Pending) {
+	if pr.ampiCh != nil && !pr.done {
+		pr.ampiCh.Recv(v.p)
+		pr.done = true
+	}
+	v.p.Delay(v.m.costs.MPIRecvOverhead)
+}

@@ -1,0 +1,489 @@
+package desmodels
+
+import (
+	"strings"
+	"testing"
+)
+
+// pingPong exchanges msgs messages of size bytes between ranks 0 and 1.
+func pingPong(bytes, iters int) func(VCtx) {
+	return func(v VCtx) {
+		for i := 0; i < iters; i++ {
+			if v.Rank() == 0 {
+				v.Send(1, bytes, 0)
+				v.Recv(1, bytes, 1)
+			} else if v.Rank() == 1 {
+				v.Recv(0, bytes, 0)
+				v.Send(0, bytes, 1)
+			}
+		}
+	}
+}
+
+func TestPureBeatsMPIOnIntraNodeSmallMessages(t *testing.T) {
+	costs := Paper()
+	mpiT, err := RunMPI(2, 0, costs, pingPong(64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureT, err := RunPure(2, 0, costs, PureOpts{}, pingPong(64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(mpiT) / float64(pureT)
+	t.Logf("64B intra-node ping-pong: mpi=%dns pure=%dns ratio=%.1fx", mpiT, pureT, ratio)
+	if ratio < 3 {
+		t.Errorf("expected Pure >> MPI for small intra-node messages, ratio %.2f", ratio)
+	}
+}
+
+func TestPlacementAffectsPureLatency(t *testing.T) {
+	costs := Paper()
+	// Ranks 0,1 are hyperthread siblings under SMP placement (64/node);
+	// compare with a 2-per-node placement where they share L3.
+	same, err := RunPure(2, 0, costs, PureOpts{}, pingPong(64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread placement: rank 1 on a different node.
+	spread, err := RunPure(2, 1, costs, PureOpts{}, pingPong(64, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same >= spread {
+		t.Errorf("same-core %d should beat cross-node %d", same, spread)
+	}
+}
+
+func TestLargeMessageRatioShrinks(t *testing.T) {
+	costs := Paper()
+	small := func() float64 {
+		m, _ := RunMPI(2, 0, costs, pingPong(64, 50))
+		p, _ := RunPure(2, 0, costs, PureOpts{}, pingPong(64, 50))
+		return float64(m) / float64(p)
+	}()
+	large := func() float64 {
+		m, _ := RunMPI(2, 0, costs, pingPong(1<<20, 10))
+		p, _ := RunPure(2, 0, costs, PureOpts{}, pingPong(1<<20, 10))
+		return float64(m) / float64(p)
+	}()
+	t.Logf("ratio small=%.1fx large=%.1fx", small, large)
+	if large >= small {
+		t.Errorf("large-message ratio %.2f should be below small-message ratio %.2f", large, small)
+	}
+	if large < 1.0 || large > 3.0 {
+		t.Errorf("large-message ratio %.2f outside the paper's ~1-2x regime", large)
+	}
+}
+
+// imbalancedTaskProg: rank 0 runs a big chunked task while others block on a
+// message from rank 0 — the canonical stealing scenario.
+func imbalancedTaskProg(chunks int, chunkNs int64) func(VCtx) {
+	return func(v VCtx) {
+		if v.Rank() == 0 {
+			cs := make([]int64, chunks)
+			for i := range cs {
+				cs[i] = chunkNs
+			}
+			v.Task(cs)
+			for dst := 1; dst < v.Size(); dst++ {
+				v.Send(dst, 8, 0)
+			}
+		} else {
+			v.Recv(0, 8, 0)
+		}
+	}
+}
+
+func TestSSWStealingShrinksMakespan(t *testing.T) {
+	costs := Paper()
+	prog := imbalancedTaskProg(64, 20000) // 1.28ms of work on rank 0
+	mpiT, err := RunMPI(4, 0, costs, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureT, err := RunPure(4, 0, costs, PureOpts{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(mpiT) / float64(pureT)
+	t.Logf("task imbalance: mpi=%dns pure=%dns speedup=%.2fx", mpiT, pureT, speedup)
+	// Three thieves + owner should approach 4x on the task portion.
+	if speedup < 2.5 {
+		t.Errorf("stealing speedup %.2f too small", speedup)
+	}
+}
+
+func TestHelpersSteal(t *testing.T) {
+	costs := Paper()
+	prog := func(v VCtx) {
+		cs := make([]int64, 64)
+		for i := range cs {
+			cs[i] = 20000
+		}
+		v.Task(cs)
+	}
+	solo, err := RunPure(1, 0, costs, PureOpts{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helped, err := RunPure(1, 0, costs, PureOpts{HelpersPerNode: 3}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(solo) / float64(helped)
+	t.Logf("helpers: solo=%dns helped=%dns speedup=%.2fx", solo, helped, speedup)
+	if speedup < 2.5 {
+		t.Errorf("helper speedup %.2f too small", speedup)
+	}
+}
+
+func barrierProg(iters int) func(VCtx) {
+	return func(v VCtx) {
+		for i := 0; i < iters; i++ {
+			v.Barrier()
+		}
+	}
+}
+
+func TestPureBarrierBeatsMPIAndOMP(t *testing.T) {
+	costs := Paper()
+	const n = 64
+	mpiT, err := RunMPI(n, 0, costs, barrierProg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureT, err := RunPure(n, 0, costs, PureOpts{}, barrierProg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ompT, err := RunOMP(n, costs, barrierProg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMPI := float64(mpiT) / float64(pureT)
+	rOMP := float64(ompT) / float64(pureT)
+	t.Logf("64-rank barrier: mpi=%d pure=%d omp=%d (pure is %.1fx vs mpi, %.1fx vs omp)",
+		mpiT, pureT, ompT, rMPI, rOMP)
+	if rMPI < 2 || rMPI > 12 {
+		t.Errorf("barrier speedup over MPI %.2f outside the paper's 2.4-5x regime (x2 slack)", rMPI)
+	}
+	if rOMP < 2 {
+		t.Errorf("barrier speedup over OMP %.2f too small", rOMP)
+	}
+}
+
+func allreduceProg(bytes, iters int) func(VCtx) {
+	return func(v VCtx) {
+		for i := 0; i < iters; i++ {
+			v.Allreduce(bytes)
+		}
+	}
+}
+
+func TestAllreduce8BAcrossScales(t *testing.T) {
+	costs := Paper()
+	prev := map[string]float64{}
+	for _, n := range []int{64, 256, 1024} {
+		mpiT, err := RunMPI(n, 64, costs, allreduceProg(8, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pureT, err := RunPure(n, 64, costs, PureOpts{}, allreduceProg(8, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dmappT, err := RunMPIDMAPP(n, 64, costs, allreduceProg(8, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp := float64(mpiT) / float64(pureT)
+		rd := float64(mpiT) / float64(dmappT)
+		t.Logf("n=%d: mpi=%d dmapp=%d pure=%d (pure %.2fx, dmapp %.2fx)", n, mpiT, dmappT, pureT, rp, rd)
+		if rp < 1.05 {
+			t.Errorf("n=%d: Pure allreduce not faster than MPI (%.2fx)", n, rp)
+		}
+		if n > 64 && rd < 1.0 {
+			t.Errorf("n=%d: DMAPP slower than plain MPI (%.2fx)", n, rd)
+		}
+		prev["pure"] = rp
+	}
+}
+
+func TestLargeAllreduceUsesPartitionedReducer(t *testing.T) {
+	costs := Paper()
+	const n = 64
+	mpiT, err := RunMPI(n, 0, costs, allreduceProg(64<<10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureT, err := RunPure(n, 0, costs, PureOpts{}, allreduceProg(64<<10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(mpiT) / float64(pureT)
+	t.Logf("64KiB allreduce: mpi=%d pure=%d ratio=%.2f", mpiT, pureT, r)
+	if r < 1.2 {
+		t.Errorf("partitioned reducer should beat the MPI tree, got %.2fx", r)
+	}
+}
+
+func TestBcastModels(t *testing.T) {
+	costs := Paper()
+	prog := func(v VCtx) {
+		v.Bcast(1024, 0)
+		v.Bcast(1024, v.Size()-1)
+		v.Barrier()
+	}
+	for name, run := range map[string]func() (int64, error){
+		"mpi":  func() (int64, error) { return RunMPI(16, 4, costs, prog) },
+		"pure": func() (int64, error) { return RunPure(16, 4, costs, PureOpts{}, prog) },
+	} {
+		if _, err := run(); err != nil {
+			t.Errorf("%s bcast: %v", name, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	costs := Paper()
+	prog := imbalancedTaskProg(32, 5000)
+	a, err := RunPure(8, 4, costs, PureOpts{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPure(8, 4, costs, PureOpts{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic simulation: %d vs %d", a, b)
+	}
+}
+
+func TestHybridTaskForkJoin(t *testing.T) {
+	costs := Paper()
+	prog := func(v VCtx) {
+		cs := make([]int64, 16)
+		for i := range cs {
+			cs[i] = 10000
+		}
+		v.Task(cs)
+	}
+	serial, err := RunMPI(1, 0, costs, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := RunHybrid(1, 4, 0, costs, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(serial) / float64(hyb)
+	t.Logf("hybrid 4-thread task: serial=%d hybrid=%d speedup=%.2f", serial, hyb, speedup)
+	if speedup < 3 || speedup > 4 {
+		t.Errorf("hybrid fork-join speedup %.2f, want ~4x minus fork-join", speedup)
+	}
+	if _, err := RunHybrid(1, 0, 0, costs, prog); err == nil {
+		t.Error("zero thread count accepted")
+	}
+}
+
+func TestAMPIOverdecompositionHidesImbalance(t *testing.T) {
+	costs := Paper()
+	// Alternating heavy/light ranks with a collective per step: classic
+	// static imbalance that overdecomposition + LB can fix.
+	prog := func(v VCtx) {
+		for step := 0; step < 24; step++ {
+			work := int64(20000)
+			if v.Rank()%2 == 0 {
+				work = 100000
+			}
+			v.Compute(work)
+			v.Allreduce(8)
+			v.StepEnd()
+		}
+	}
+	t1, mig1, err := RunAMPI(8, costs, AMPIOpts{VP: 1, CoresPerNode: 8}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, mig4, err := RunAMPI(8, costs, AMPIOpts{VP: 4, CoresPerNode: 2}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AMPI vp=1: %dns (%d migrations); vp=4 on 1/4 cores: %dns (%d migrations)", t1, mig1, t4, mig4)
+	if mig4 == 0 {
+		t.Error("expected migrations under imbalance with vp=4")
+	}
+	// vp=4 runs on a quarter of the cores; it should cost less than 4x the
+	// vp=1 time because overdecomposition + LB packs the imbalanced work.
+	if float64(t4) > 3.5*float64(t1) {
+		t.Errorf("overdecomposition shows no benefit: vp4=%d vs vp1=%d", t4, t1)
+	}
+}
+
+func TestAMPIValidation(t *testing.T) {
+	if _, _, err := RunAMPI(5, Paper(), AMPIOpts{VP: 2}, func(VCtx) {}); err == nil {
+		t.Error("indivisible vrank count accepted")
+	}
+}
+
+func TestAMPISMPFasterIntraNode(t *testing.T) {
+	costs := Paper()
+	prog := pingPong(64, 50)
+	nonsmp, _, err := RunAMPI(2, costs, AMPIOpts{VP: 1, CoresPerNode: 2}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, _, err := RunAMPI(2, costs, AMPIOpts{VP: 1, SMP: true, CoresPerNode: 2}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AMPI ping-pong: non-SMP=%d SMP=%d", nonsmp, smp)
+	if smp >= nonsmp {
+		t.Errorf("SMP mode should be faster intra-node: %d vs %d", smp, nonsmp)
+	}
+}
+
+func TestMultiNodeAppPattern(t *testing.T) {
+	// A small halo+allreduce pattern across 4 nodes must complete without
+	// deadlock on both models and MPI must cost more.
+	costs := Paper()
+	prog := func(v VCtx) {
+		n := v.Size()
+		for step := 0; step < 5; step++ {
+			right := (v.Rank() + 1) % n
+			left := (v.Rank() - 1 + n) % n
+			v.Send(right, 4096, 1)
+			v.Recv(left, 4096, 1)
+			v.Compute(50000)
+			v.Allreduce(16)
+		}
+	}
+	mpiT, err := RunMPI(16, 4, costs, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureT, err := RunPure(16, 4, costs, PureOpts{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("halo pattern 4 nodes: mpi=%d pure=%d", mpiT, pureT)
+	if pureT >= mpiT {
+		t.Errorf("pure %d should beat mpi %d", pureT, mpiT)
+	}
+}
+
+func TestOMPTaskAndAMPITaskAndIrecv(t *testing.T) {
+	costs := Paper()
+	// OMP-only model: Task runs serially on the calling thread; Bcast works.
+	ompT, err := RunOMP(4, costs, func(v VCtx) {
+		if v.Rank() == 0 && v.Size() != 4 {
+			t.Error("size wrong")
+		}
+		v.Compute(100)
+		v.Task([]int64{1000, 2000})
+		v.Bcast(64, 0)
+		v.StepEnd()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ompT <= 0 {
+		t.Errorf("omp time = %d", ompT)
+	}
+	// OMP messaging panics.
+	_, err = RunOMP(2, costs, func(v VCtx) {
+		if v.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("omp Send did not panic")
+				}
+			}()
+			v.Send(1, 8, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AMPI: Task + Irecv/Wait paths.
+	_, _, err = RunAMPI(4, costs, AMPIOpts{VP: 2, CoresPerNode: 2}, func(v VCtx) {
+		if v.Rank() == 0 {
+			v.Task([]int64{500, 500})
+			v.Send(1, 64, 0)
+		} else if v.Rank() == 1 {
+			pr := v.Irecv(0, 64, 0)
+			v.Compute(100)
+			v.Wait(pr)
+		}
+		v.StepEnd()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridMessagingAndCollectives(t *testing.T) {
+	costs := Paper()
+	hyb, err := RunHybrid(4, 2, 2, costs, func(v VCtx) {
+		if v.Rank() == 0 {
+			v.Send(1, 256, 0)
+		} else if v.Rank() == 1 {
+			v.Recv(0, 256, 0)
+		}
+		v.Compute(1000)
+		v.Allreduce(8)
+		v.Bcast(128, 2)
+		v.Barrier()
+		v.StepEnd()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb <= 0 {
+		t.Errorf("hybrid time = %d", hyb)
+	}
+}
+
+func TestTraceRenderAndKinds(t *testing.T) {
+	costs := Paper()
+	trace := &Trace{}
+	_, err := RunPure(3, 0, costs, PureOpts{Trace: trace}, func(v VCtx) {
+		if v.Rank() == 0 {
+			v.Compute(5000)
+			v.Task([]int64{10000, 10000, 10000, 10000})
+			v.Send(1, 8, 0)
+			v.Send(2, 8, 0)
+		} else {
+			v.Recv(0, 8, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if trace.StolenChunks() == 0 {
+		t.Error("no stolen chunks in trace (blocked ranks should have stolen)")
+	}
+	var sb strings.Builder
+	trace.Render(&sb, 60)
+	out := sb.String()
+	for _, want := range []string{"rank  0", "rank  2", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Kind strings.
+	if SpanCompute.String() != "compute" || SpanOwnChunk.String() != "own-chunk" ||
+		SpanStolenChunk.String() != "stolen-chunk" {
+		t.Error("SpanKind strings wrong")
+	}
+	// Empty trace renders gracefully.
+	sb.Reset()
+	(&Trace{}).Render(&sb, 10)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty render: %q", sb.String())
+	}
+}

@@ -1,0 +1,284 @@
+package desmodels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// The MPI+OpenMP hybrid model (the paper's MPI+OMP comparison lines in
+// Figs. 5a/5c): p MPI processes of k threads each.  prog runs once per
+// process; Task regions execute fork-join across the k threads with static
+// chunk scheduling, everything else is serial (Amdahl's-law penalty the
+// paper highlights), and messaging pays full MPI process costs.
+
+type hybridRank struct {
+	mpiRank
+	k int
+}
+
+// RunHybrid simulates prog over p MPI processes each owning k OpenMP
+// threads (so p*k cores).  ranksPerNode counts processes per node (16 in
+// the paper's CoMD runs: 16 processes x 4 threads on 64-thread nodes).
+func RunHybrid(p, k, ranksPerNode int, costs CostModel, prog func(VCtx)) (int64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("desmodels: hybrid thread count must be positive, got %d", k)
+	}
+	place, err := defaultPlacement(p, ranksPerNode)
+	if err != nil {
+		return 0, err
+	}
+	m := newMachine(place, costs)
+	for r := 0; r < p; r++ {
+		rr := r
+		m.eng.Spawn(fmt.Sprintf("hyb%d", rr), func(proc *cluster.Proc) {
+			prog(&hybridRank{mpiRank: mpiRank{m: m, p: proc, r: rr, n: p}, k: k})
+		})
+	}
+	return m.eng.Run()
+}
+
+// Task is an OpenMP parallel region: fork-join overhead plus the makespan
+// of static chunk scheduling over k threads.
+func (v *hybridRank) Task(chunks []int64) {
+	sums := make([]int64, v.k)
+	for i, c := range chunks {
+		sums[i%v.k] += c
+	}
+	var wall int64
+	for _, s := range sums {
+		if s > wall {
+			wall = s
+		}
+	}
+	v.p.Delay(v.m.costs.OMPForkJoin + wall)
+}
+
+// ---- OpenMP-only model (single node; the OpenMP lines of Fig. 7) ----
+
+// ompNode is the shared state of the OpenMP thread team.
+type ompNode struct {
+	arrived int // counter-update position assignment
+	seq0    int // completed arrivals this round
+	seq     int // published round count
+	sigs    []*cluster.Signal
+}
+
+type ompRank struct {
+	m     *machine
+	nd    *ompNode
+	p     *cluster.Proc
+	r, n  int
+	round int
+}
+
+// RunOMP simulates prog over n OpenMP threads on one node.  Send/Recv are
+// not supported (threads share memory; the paper's OpenMP comparisons are
+// collectives and parallel regions only).
+func RunOMP(n int, costs CostModel, prog func(VCtx)) (int64, error) {
+	place, err := defaultPlacement(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	m := newMachine(place, costs)
+	nd := &ompNode{sigs: make([]*cluster.Signal, n)}
+	for i := range nd.sigs {
+		nd.sigs[i] = &cluster.Signal{}
+	}
+	for r := 0; r < n; r++ {
+		rr := r
+		m.eng.Spawn(fmt.Sprintf("omp%d", rr), func(p *cluster.Proc) {
+			prog(&ompRank{m: m, nd: nd, p: p, r: rr, n: n})
+		})
+	}
+	return m.eng.Run()
+}
+
+func (v *ompRank) Rank() int        { return v.r }
+func (v *ompRank) Size() int        { return v.n }
+func (v *ompRank) Compute(ns int64) { v.p.Delay(ns) }
+func (v *ompRank) StepEnd()         {}
+
+func (v *ompRank) Task(chunks []int64) {
+	// An OpenMP-only "task" on the calling thread: serial.
+	var sum int64
+	for _, c := range chunks {
+		sum += c
+	}
+	v.p.Delay(sum)
+}
+
+func (v *ompRank) Send(int, int, int) { panic("desmodels: OpenMP model has no messaging") }
+func (v *ompRank) Recv(int, int, int) { panic("desmodels: OpenMP model has no messaging") }
+
+// Barrier is the central-counter barrier: every thread contends on one
+// atomic counter, serializing the arrivals (contrast with Pure's pairwise
+// SPTD, Fig. 7b's 8x gap).
+func (v *ompRank) Barrier() { v.counterCollective(0) }
+
+// Allreduce is barrier plus a serialized critical-section fold.
+func (v *ompRank) Allreduce(bytes int) { v.counterCollective(bytes) }
+
+func (v *ompRank) counterCollective(bytes int) {
+	c := v.m.costs
+	v.round++
+	round := v.round
+	nd := v.nd
+	// The central counter (and the critical-section fold, for reductions)
+	// serializes arrivals: the i-th arrival waits behind i earlier updates
+	// of the contended cacheline.  This is the serialization Pure's pairwise
+	// SPTD avoids (Fig. 7b's up-to-8x gap).
+	pos := nd.arrived
+	nd.arrived++
+	per := c.OMPCounterPerThread
+	if bytes > 0 {
+		per += int64(float64(bytes) * c.SPTDFoldPerByte * 2)
+	}
+	v.p.Delay(per * int64(pos+1))
+	nd.seq0++
+	if nd.seq0 == v.n {
+		nd.seq0 = 0
+		nd.arrived = 0
+		nd.seq++
+		for _, s := range nd.sigs {
+			s.Pulse()
+		}
+		return
+	}
+	for nd.seq < round {
+		nd.sigs[v.r].Wait(v.p, "omp-barrier")
+	}
+}
+
+func (v *ompRank) Bcast(bytes, root int) {
+	// Shared memory: a barrier, then everyone reads the buffer.
+	v.Barrier()
+	v.p.Delay(int64(float64(bytes) * v.m.costs.PureEagerPerByte))
+}
+
+// ---- DMAPP variant of the MPI model (Fig. 7a's MPI DMAPP line) ----
+
+type dmappRank struct {
+	mpiRank
+}
+
+// RunMPIDMAPP is RunMPI with Cray's DMAPP hardware-offload collectives
+// enabled: 8-byte all-reduces ride the Aries collective engine between node
+// leaders instead of the software tree.  (DMAPP supports only a subset of
+// collectives and only 8 B payloads — paper §6.)
+func RunMPIDMAPP(n, ranksPerNode int, costs CostModel, prog func(VCtx)) (int64, error) {
+	place, err := defaultPlacement(n, ranksPerNode)
+	if err != nil {
+		return 0, err
+	}
+	m := newMachine(place, costs)
+	for r := 0; r < n; r++ {
+		rr := r
+		m.eng.Spawn(fmt.Sprintf("dmapp%d", rr), func(p *cluster.Proc) {
+			prog(&dmappRank{mpiRank{m: m, p: p, r: rr, n: n}})
+		})
+	}
+	return m.eng.Run()
+}
+
+// Allreduce uses the hardware engine for 8 B payloads: software tree within
+// the node to the leader, a hardware tree across nodes whose per-hop cost is
+// DMAPPPerHop, then a software broadcast within the node.
+func (v *dmappRank) Allreduce(bytes int) {
+	if bytes > 8 {
+		v.mpiRank.Allreduce(bytes)
+		return
+	}
+	local := v.m.place.RanksOnNode(v.m.place.NodeOf(v.r))
+	li := 0
+	for i, r := range local {
+		if r == v.r {
+			li = i
+			break
+		}
+	}
+	nLocal := len(local)
+	// Node-local binomial reduce to the node leader.
+	for mask := 1; mask < nLocal; mask <<= 1 {
+		if li&mask != 0 {
+			v.Send(local[li-mask], bytes, internalTag+50)
+			goto wait
+		}
+		if li+mask < nLocal {
+			v.Recv(local[li+mask], bytes, internalTag+50)
+			v.p.Delay(int64(float64(bytes) * v.m.costs.SPTDFoldPerByte))
+		}
+	}
+	// Leader: ride the hardware collective across nodes.
+	{
+		nodes := v.m.place.NodesUsed()
+		if nodes > 1 {
+			hops := int64(math.Ceil(math.Log2(float64(nodes))))
+			v.hwCollective(hops)
+		}
+	}
+wait:
+	// Node-local broadcast of the result.
+	v.localBcast(local, li, bytes)
+}
+
+// hwCollective synchronizes the node leaders through the Aries collective
+// engine: a dissemination exchange whose per-hop cost is the hardware hop
+// cost rather than the full software message path.
+func (v *dmappRank) hwCollective(hops int64) {
+	place := v.m.place
+	var leaders []int
+	for nid := 0; nid < place.Spec.Nodes; nid++ {
+		rs := place.RanksOnNode(nid)
+		if len(rs) > 0 {
+			leaders = append(leaders, rs[0])
+		}
+	}
+	idx := 0
+	for i, l := range leaders {
+		if l == v.r {
+			idx = i
+			break
+		}
+	}
+	n := len(leaders)
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := leaders[(idx+dist)%n]
+		from := leaders[((idx-dist)%n+n)%n]
+		ch := v.m.chanFor(msgKey{src: v.r, dst: to, tag: internalTag + 60 + round})
+		ch.SendAfter(vmsg{bytes: 8}, v.m.costs.DMAPPPerHop)
+		in := v.m.chanFor(msgKey{src: from, dst: v.r, tag: internalTag + 60 + round})
+		in.Recv(v.p)
+	}
+	_ = hops
+}
+
+func (v *dmappRank) localBcast(local []int, li, bytes int) {
+	nLocal := len(local)
+	mask := 1
+	for mask < nLocal {
+		if li&mask != 0 {
+			v.Recv(local[li-mask], bytes, internalTag+51)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if li+mask < nLocal {
+			v.Send(local[li+mask], bytes, internalTag+51)
+		}
+		mask >>= 1
+	}
+}
+
+// Irecv is unsupported in the OpenMP-only model (threads share memory).
+func (v *ompRank) Irecv(int, int, int) Pending {
+	panic("desmodels: OpenMP model has no messaging")
+}
+
+// Wait is unsupported in the OpenMP-only model.
+func (v *ompRank) Wait(Pending) {
+	panic("desmodels: OpenMP model has no messaging")
+}

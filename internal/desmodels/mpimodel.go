@@ -1,0 +1,183 @@
+package desmodels
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// mpiRank is one simulated MPI process (the baseline runtime model):
+// locked matching engine, eager two-copy / rendezvous single-copy
+// protocols, binomial-tree collectives, no work sharing between ranks.
+type mpiRank struct {
+	m *machine
+	p *cluster.Proc
+	r int
+	n int
+}
+
+// RunMPI simulates prog over n MPI ranks and returns the end-to-end virtual
+// nanoseconds (the slowest rank's finish time).
+func RunMPI(n, ranksPerNode int, costs CostModel, prog func(VCtx)) (int64, error) {
+	place, err := defaultPlacement(n, ranksPerNode)
+	if err != nil {
+		return 0, err
+	}
+	return RunMPIPlaced(place, costs, prog)
+}
+
+// RunMPIPlaced is RunMPI with an explicit placement.
+func RunMPIPlaced(place *topology.Placement, costs CostModel, prog func(VCtx)) (int64, error) {
+	m := newMachine(place, costs)
+	n := place.NRank
+	for r := 0; r < n; r++ {
+		rr := r
+		m.eng.Spawn(fmt.Sprintf("mpi%d", rr), func(p *cluster.Proc) {
+			prog(&mpiRank{m: m, p: p, r: rr, n: n})
+		})
+	}
+	return m.eng.Run()
+}
+
+func (v *mpiRank) Rank() int { return v.r }
+func (v *mpiRank) Size() int { return v.n }
+
+func (v *mpiRank) Compute(ns int64) { v.p.Delay(ns) }
+
+// Task is a plain serial loop: an MPI process has no one to share with.
+func (v *mpiRank) Task(chunks []int64) {
+	total := int64(0)
+	for _, c := range chunks {
+		total += c
+	}
+	v.p.Delay(total)
+}
+
+func (v *mpiRank) Send(dst, bytes, tag int) {
+	c := v.m.costs
+	key := msgKey{src: v.r, dst: dst, tag: tag}
+	inter := v.m.interNode(v.r, dst)
+	if bytes < c.MPIEagerMax {
+		// Eager: copy into the library buffer (first copy), deliver; the
+		// sender is immediately free (buffered semantics).
+		over := c.MPISendOverhead
+		var wire int64
+		if inter {
+			wire = v.m.netDelay(bytes)
+		} else {
+			over += int64(float64(bytes) * c.MPIEagerPerByte)
+			wire = c.MPIIntraLatency
+		}
+		v.p.Delay(over)
+		v.m.eng.At(wire, func() { v.m.deliverMsg(key, pmsg{bytes: bytes}) })
+		return
+	}
+	// Rendezvous: publish an RTS, block until the receiver's matching
+	// receive has pulled the payload (the matching engine handles the case
+	// where both sides are inside Send simultaneously).
+	v.p.Delay(c.MPISendOverhead)
+	ackCh := cluster.NewChan[int](v.m.eng, "rvz-ack")
+	var rtsWire, transfer int64
+	if inter {
+		rtsWire = v.m.netDelay(0)
+		transfer = c.MPIRvzHandshake + v.m.netDelay(bytes)
+	} else {
+		rtsWire = c.MPIIntraLatency
+		transfer = c.MPIRvzHandshake + int64(float64(bytes)*c.MPIRvzPerByte)
+	}
+	v.m.eng.At(rtsWire, func() {
+		v.m.deliverMsg(key, pmsg{bytes: bytes, rvz: true, transferNs: transfer, ack: func() { ackCh.Send(1) }})
+	})
+	ackCh.Recv(v.p)
+}
+
+// Irecv posts a receive with the matching engine.
+func (v *mpiRank) Irecv(src, bytes, tag int) Pending {
+	key := msgKey{src: src, dst: v.r, tag: tag}
+	doneCh := cluster.NewChan[int](v.m.eng, "recv-done")
+	pr := &precv{bytes: bytes, onDone: func() { doneCh.Send(1) }}
+	pr.wake = doneCh
+	pr.intra = !v.m.interNode(v.r, src)
+	v.m.postRecv(key, pr)
+	return pr
+}
+
+// Wait blocks until the posted receive completes, then charges the
+// receiver-side costs (matching overhead; eager intra-node copy-out).
+func (v *mpiRank) Wait(pr Pending) {
+	if !pr.done {
+		pr.wake.Recv(v.p)
+	}
+	c := v.m.costs
+	cost := c.MPIRecvOverhead
+	if !pr.gotRvz && pr.intra {
+		cost += int64(float64(pr.bytes) * c.MPIEagerPerByte) // second copy
+	}
+	v.p.Delay(cost)
+}
+
+func (v *mpiRank) Recv(src, bytes, tag int) {
+	v.Wait(v.Irecv(src, bytes, tag))
+}
+
+// Barrier is the dissemination barrier over simulated p2p.
+func (v *mpiRank) Barrier() {
+	n := v.n
+	if n == 1 {
+		return
+	}
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (v.r + dist) % n
+		from := (v.r - dist + n) % n
+		v.Send(to, 1, internalTag+round)
+		v.Recv(from, 1, internalTag+round)
+	}
+}
+
+// Allreduce is binomial reduce to rank 0 plus binomial broadcast, the
+// classic small-payload MPI algorithm.
+func (v *mpiRank) Allreduce(bytes int) {
+	v.reduceTo(0, bytes)
+	v.Bcast(bytes, 0)
+}
+
+func (v *mpiRank) reduceTo(root, bytes int) {
+	n := v.n
+	vr := (v.r - root + n) % n
+	toReal := func(u int) int { return (u + root) % n }
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			v.Send(toReal(vr-mask), bytes, internalTag+32)
+			return
+		}
+		if vr+mask < n {
+			v.Recv(toReal(vr+mask), bytes, internalTag+32)
+			// element-wise fold
+			v.p.Delay(int64(float64(bytes) * v.m.costs.SPTDFoldPerByte))
+		}
+	}
+}
+
+func (v *mpiRank) Bcast(bytes, root int) {
+	n := v.n
+	vr := (v.r - root + n) % n
+	toReal := func(u int) int { return (u + root) % n }
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			v.Recv(toReal(vr-mask), bytes, internalTag+33)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < n {
+			v.Send(toReal(vr+mask), bytes, internalTag+33)
+		}
+		mask >>= 1
+	}
+}
+
+func (v *mpiRank) StepEnd() {}

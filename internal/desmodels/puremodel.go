@@ -1,0 +1,515 @@
+package desmodels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// The Pure model: thread-based ranks with lock-free channel costs, SPTD /
+// Partitioned-Reducer collectives bridged by leader trees, and — the heart
+// of the paper — the SSW-Loop: every blocking wait tries to steal chunks of
+// co-resident active tasks, in virtual time.
+
+// vexec is one task execution open for stealing.
+type vexec struct {
+	owner  int
+	chunks []int64
+	next   int
+	done   int
+}
+
+// pureNode is the shared per-node state (the active_tasks array plus
+// collective round counters).
+type pureNode struct {
+	ranks []int // global rank ids, ascending (ranks[0] is the leader)
+	execs []*vexec
+	// Small-collective (SPTD) state.
+	arrived int
+	doneSeq int
+	// Partitioned-Reducer phase state.
+	prArr     int
+	prArrSeq  int
+	prDone    int
+	prDoneSeq int
+	// Broadcast publication counter.
+	bcastSeq int
+	// helperSigs are the node's helper-thread parking signals.
+	helperSigs []*cluster.Signal
+}
+
+type pureMachine struct {
+	*machine
+	trace    *Trace
+	sigs     []*cluster.Signal
+	nodes    []*pureNode // dense by node-index (only nodes with ranks)
+	nodeIdx  map[int]int // node id -> index in nodes
+	finished int
+	nApp     int
+}
+
+func (m *pureMachine) pulse(rank int) { m.sigs[rank].Pulse() }
+
+func (m *pureMachine) pulseNode(nd *pureNode) {
+	for _, r := range nd.ranks {
+		m.sigs[r].Pulse()
+	}
+	for _, s := range nd.helperSigs {
+		s.Pulse()
+	}
+}
+
+func (m *pureMachine) pulseAllNodes() {
+	for _, nd := range m.nodes {
+		m.pulseNode(nd)
+	}
+}
+
+// PureOpts tunes the Pure model.
+type PureOpts struct {
+	// HelpersPerNode adds helper threads that only steal (Fig. 4 class A).
+	HelpersPerNode int
+	// Trace, when non-nil, records per-rank activity spans in virtual time
+	// (the paper's Figure 1 timeline).
+	Trace *Trace
+}
+
+// pureRank is one simulated Pure rank.
+type pureRank struct {
+	m     *pureMachine
+	p     *cluster.Proc
+	r, n  int
+	node  *pureNode
+	local int
+	// Per-collective-kind round counters (lockstep across ranks because
+	// collectives must be invoked in the same order by every rank).
+	sptdRound, prRound, bcastRound int
+}
+
+// RunPure simulates prog over n Pure ranks and returns the end-to-end
+// virtual nanoseconds.
+func RunPure(n, ranksPerNode int, costs CostModel, opts PureOpts, prog func(VCtx)) (int64, error) {
+	place, err := defaultPlacement(n, ranksPerNode)
+	if err != nil {
+		return 0, err
+	}
+	return RunPurePlaced(place, costs, opts, prog)
+}
+
+// RunPurePlaced is RunPure with an explicit placement.
+func RunPurePlaced(place *topology.Placement, costs CostModel, opts PureOpts, prog func(VCtx)) (int64, error) {
+	n := place.NRank
+	m := &pureMachine{
+		machine: newMachine(place, costs),
+		trace:   opts.Trace,
+		sigs:    make([]*cluster.Signal, n),
+		nodeIdx: make(map[int]int),
+		nApp:    n,
+	}
+	for r := 0; r < n; r++ {
+		m.sigs[r] = &cluster.Signal{}
+	}
+	var nodeIDs []int
+	for nid := 0; nid < place.Spec.Nodes; nid++ {
+		if len(place.RanksOnNode(nid)) > 0 {
+			nodeIDs = append(nodeIDs, nid)
+		}
+	}
+	sort.Ints(nodeIDs)
+	for i, nid := range nodeIDs {
+		m.nodeIdx[nid] = i
+		m.nodes = append(m.nodes, &pureNode{ranks: place.RanksOnNode(nid)})
+	}
+
+	for r := 0; r < n; r++ {
+		rr := r
+		nd := m.nodes[m.nodeIdx[place.NodeOf(rr)]]
+		local := place.LocalIndex(rr)
+		m.eng.Spawn(fmt.Sprintf("pure%d", rr), func(p *cluster.Proc) {
+			v := &pureRank{m: m, p: p, r: rr, n: n, node: nd, local: local}
+			prog(v)
+			m.finished++
+			if m.finished == m.nApp {
+				m.pulseAllNodes() // release helper threads
+			}
+		})
+	}
+	// Helper threads: pure thieves on otherwise idle hardware threads.
+	for i := range m.nodes {
+		nd := m.nodes[i]
+		for h := 0; h < opts.HelpersPerNode; h++ {
+			sig := &cluster.Signal{}
+			nd.helperSigs = append(nd.helperSigs, sig)
+			m.eng.Spawn(fmt.Sprintf("helper-n%d-%d", i, h), func(p *cluster.Proc) {
+				for m.finished < m.nApp {
+					if m.stealOne(p, nd, -1) {
+						continue
+					}
+					if m.finished == m.nApp {
+						return
+					}
+					sig.Wait(p, "helper-idle")
+				}
+			})
+		}
+	}
+	return m.eng.Run()
+}
+
+// stealOne attempts one SSW steal from the node's active tasks on behalf of
+// rank self (-1 for a helper thread).  It executes at most one chunk.
+func (m *pureMachine) stealOne(p *cluster.Proc, nd *pureNode, self int) bool {
+	for _, ex := range nd.execs {
+		if ex.owner == self || ex.next >= len(ex.chunks) {
+			continue
+		}
+		idx := ex.next
+		c := ex.chunks[idx]
+		ex.next++
+		t0 := m.eng.Now()
+		p.Delay(m.costs.StealProbe + m.costs.ChunkOverhead + c)
+		if self >= 0 { // helper threads have no timeline row
+			m.trace.add(Span{Rank: self, Kind: SpanStolenChunk, Start: t0, End: m.eng.Now(), Owner: ex.owner, ChunkIdx: idx})
+		}
+		ex.done++
+		m.pulse(ex.owner)
+		return true
+	}
+	return false
+}
+
+// waitSSW is the Spin-Steal-Wait loop in virtual time: re-check the
+// blocking condition, steal one chunk if any co-resident task is open, park
+// on the rank's signal otherwise.
+func (v *pureRank) waitSSW(cond func() bool) {
+	for !cond() {
+		if v.m.stealOne(v.p, v.node, v.r) {
+			continue
+		}
+		v.m.sigs[v.r].Wait(v.p, "ssw")
+	}
+}
+
+func (v *pureRank) Rank() int { return v.r }
+func (v *pureRank) Size() int { return v.n }
+func (v *pureRank) Compute(ns int64) {
+	t0 := v.m.eng.Now()
+	v.p.Delay(ns)
+	v.m.trace.add(Span{Rank: v.r, Kind: SpanCompute, Start: t0, End: v.m.eng.Now(), Owner: v.r, ChunkIdx: -1})
+}
+func (v *pureRank) StepEnd() {}
+
+// Task publishes the chunks for stealing and executes work-first; the owner
+// waits (without stealing, per the paper) for thieves to finish stragglers.
+func (v *pureRank) Task(chunks []int64) {
+	ex := &vexec{owner: v.r, chunks: chunks}
+	v.node.execs = append(v.node.execs, ex)
+	v.m.pulseNode(v.node) // task is open for stealing: wake blocked ranks
+	for ex.next < len(ex.chunks) {
+		idx := ex.next
+		c := ex.chunks[idx]
+		ex.next++
+		t0 := v.m.eng.Now()
+		v.p.Delay(c + v.m.costs.ChunkOverhead)
+		v.m.trace.add(Span{Rank: v.r, Kind: SpanOwnChunk, Start: t0, End: v.m.eng.Now(), Owner: v.r, ChunkIdx: idx})
+		ex.done++
+	}
+	for ex.done < len(ex.chunks) {
+		v.m.sigs[v.r].Wait(v.p, "task-stragglers")
+	}
+	// Close the task.
+	for i, e := range v.node.execs {
+		if e == ex {
+			v.node.execs = append(v.node.execs[:i], v.node.execs[i+1:]...)
+			break
+		}
+	}
+}
+
+func (v *pureRank) Send(dst, bytes, tag int) {
+	c := v.m.costs
+	key := msgKey{src: v.r, dst: dst, tag: tag}
+	m := v.m
+	if m.interNode(v.r, dst) {
+		// Inter-node: the MPI_THREAD_MULTIPLE leg.
+		if bytes < c.MPIEagerMax {
+			v.p.Delay(c.PureSendOverhead + c.PureThreadMultiplePenalty)
+			m.eng.At(m.netDelay(bytes), func() { m.deliverMsg(key, pmsg{bytes: bytes}) })
+			return
+		}
+		v.p.Delay(c.PureSendOverhead + c.PureThreadMultiplePenalty)
+		done := false
+		transfer := c.MPIRvzHandshake + m.netDelay(bytes)
+		self := v.r
+		m.eng.At(m.netDelay(0), func() {
+			m.deliverMsg(key, pmsg{bytes: bytes, rvz: true, transferNs: transfer, ack: func() {
+				done = true
+				m.pulse(self)
+			}})
+		})
+		v.waitSSW(func() bool { return done }) // steal while blocked
+		return
+	}
+	lat := c.p2pIntraPureLatency(m.distClass(v.r, dst))
+	if bytes < c.PureEagerMax {
+		// PBQ eager: copy into the slot, publish the sequence number.
+		v.p.Delay(c.PureSendOverhead + int64(float64(bytes)*c.PureEagerPerByte))
+		m.eng.At(lat, func() { m.deliverMsg(key, pmsg{bytes: bytes}) })
+		return
+	}
+	// Rendezvous: the sender waits (stealing) until the receiver's posted
+	// envelope matches, then performs the single copy and signals.
+	v.p.Delay(c.PureSendOverhead)
+	done := false
+	self := v.r
+	transfer := lat + int64(float64(bytes)*c.PureRvzPerByte)
+	m.deliverMsg(key, pmsg{bytes: bytes, rvz: true, transferNs: transfer, ack: func() {
+		done = true
+		m.pulse(self)
+	}})
+	v.waitSSW(func() bool { return done })
+}
+
+// Irecv posts a receive; completion pulses this rank's SSW signal.
+func (v *pureRank) Irecv(src, bytes, tag int) Pending {
+	key := msgKey{src: src, dst: v.r, tag: tag}
+	self := v.r
+	pr := &precv{bytes: bytes, intra: !v.m.interNode(v.r, src), onDone: func() { v.m.pulse(self) }}
+	v.m.postRecv(key, pr)
+	return pr
+}
+
+// Wait is the SSW-Loop: steal chunks until the receive completes, then pay
+// the receiver-side cost (eager: copy out of the PBQ slot).
+func (v *pureRank) Wait(pr Pending) {
+	v.waitSSW(func() bool { return pr.done })
+	c := v.m.costs
+	cost := c.PureRecvOverhead
+	if pr.intra {
+		if !pr.gotRvz {
+			cost += int64(float64(pr.bytes) * c.PureEagerPerByte)
+		}
+	} else {
+		cost += c.PureThreadMultiplePenalty
+	}
+	v.p.Delay(cost)
+}
+
+func (v *pureRank) Recv(src, bytes, tag int) {
+	v.Wait(v.Irecv(src, bytes, tag))
+}
+
+// ---- Collectives ----
+
+// leaders returns the node-leader global ranks, by node index.
+func (m *pureMachine) leaders() []int {
+	ls := make([]int, len(m.nodes))
+	for i, nd := range m.nodes {
+		ls[i] = nd.ranks[0]
+	}
+	return ls
+}
+
+// myNodeIndex returns the rank's node index among participating nodes.
+func (v *pureRank) myNodeIndex() int { return v.m.nodeIdx[v.m.place.NodeOf(v.r)] }
+
+// Allreduce: SPTD flat-combining for small payloads, Partitioned Reducer
+// for large, leaders bridging across nodes with binomial trees.
+func (v *pureRank) Allreduce(bytes int) {
+	if bytes > v.m.costs.PRThreshold {
+		v.prAllreduce(bytes)
+		return
+	}
+	v.sptdAllreduce(bytes, true)
+}
+
+// Barrier is the SPTD synchronization without payload; across nodes the
+// leaders run a dissemination exchange (what MPI_Barrier does among the
+// node leaders in the paper's runtime), which halves the critical path
+// versus a reduce+broadcast tree.
+func (v *pureRank) Barrier() { v.sptdAllreduce(0, false) }
+
+// leaderBarrier is the cross-node dissemination among node leaders.
+func (v *pureRank) leaderBarrier() {
+	ls := v.m.leaders()
+	m := len(ls)
+	li := v.myNodeIndex()
+	for round, dist := 0, 1; dist < m; round, dist = round+1, dist*2 {
+		to := ls[(li+dist)%m]
+		from := ls[((li-dist)%m+m)%m]
+		v.Send(to, 1, internalTag+44+round)
+		v.Recv(from, 1, internalTag+44+round)
+	}
+}
+
+func (v *pureRank) sptdAllreduce(bytes int, fold bool) {
+	c := v.m.costs
+	v.sptdRound++
+	nd := v.node
+	nLocal := len(nd.ranks)
+	if v.local == 0 {
+		// Leader: gather all dropboxes (stealing while waiting), fold,
+		// bridge, publish.
+		v.waitSSW(func() bool { return nd.arrived == nLocal-1 })
+		nd.arrived = 0
+		cost := int64(nLocal) * c.SPTDCheck
+		if fold {
+			cost += int64(float64(nLocal*bytes) * c.SPTDLeaderFoldPerByte)
+		}
+		v.p.Delay(cost)
+		if len(v.m.nodes) > 1 {
+			if fold {
+				v.leaderAllreduce(bytes)
+			} else {
+				v.leaderBarrier()
+			}
+		}
+		nd.doneSeq++
+		v.m.pulseNode(nd)
+		return
+	}
+	// Non-leader: deposit, signal, wait (stealing), copy out.
+	v.p.Delay(c.SPTDSignal + int64(float64(bytes)*c.PureEagerPerByte))
+	nd.arrived++
+	v.m.pulse(nd.ranks[0])
+	round := v.sptdRound
+	v.waitSSW(func() bool { return nd.doneSeq >= round })
+	if fold {
+		v.p.Delay(c.SPTDCopyOut + int64(float64(bytes)*c.PureEagerPerByte))
+	} else {
+		v.p.Delay(c.SPTDCopyOut)
+	}
+}
+
+// prAllreduce models the Partitioned Reducer: all threads arrive, fold
+// concurrently, leader bridges, all copy out.
+func (v *pureRank) prAllreduce(bytes int) {
+	c := v.m.costs
+	v.prRound++
+	round := v.prRound
+	nd := v.node
+	nLocal := len(nd.ranks)
+	leader := nd.ranks[0]
+
+	// Arrival phase: publish input pointer.
+	v.p.Delay(c.SPTDSignal)
+	nd.prArr++
+	v.m.pulse(leader)
+	if v.local == 0 {
+		v.waitSSW(func() bool { return nd.prArr == nLocal })
+		nd.prArr = 0
+		nd.prArrSeq++
+		v.m.pulseNode(nd)
+	} else {
+		v.waitSSW(func() bool { return nd.prArrSeq >= round })
+	}
+	// Concurrent fold over disjoint cacheline chunks: wall-clock is the
+	// whole payload's per-byte cost (each thread reads all inputs over its
+	// chunk), plus dispatch.
+	v.p.Delay(int64(float64(bytes)*c.PRPerByte) + c.ChunkOverhead)
+	nd.prDone++
+	v.m.pulse(leader)
+	if v.local == 0 {
+		v.waitSSW(func() bool { return nd.prDone == nLocal })
+		nd.prDone = 0
+		if len(v.m.nodes) > 1 {
+			v.leaderAllreduce(bytes)
+		}
+		nd.prDoneSeq++
+		v.m.pulseNode(nd)
+	} else {
+		v.waitSSW(func() bool { return nd.prDoneSeq >= round })
+	}
+	v.p.Delay(int64(float64(bytes) * c.PureEagerPerByte)) // copy out
+}
+
+// leaderAllreduce bridges across nodes: binomial reduce to node 0's leader
+// plus binomial broadcast, over the inter-node p2p path.
+func (v *pureRank) leaderAllreduce(bytes int) {
+	ls := v.m.leaders()
+	m := len(ls)
+	li := v.myNodeIndex()
+	for mask := 1; mask < m; mask <<= 1 {
+		if li&mask != 0 {
+			v.Send(ls[li-mask], bytes, internalTag+40)
+			break
+		}
+		if li+mask < m {
+			v.Recv(ls[li+mask], bytes, internalTag+40)
+			v.p.Delay(int64(float64(bytes) * v.m.costs.SPTDFoldPerByte))
+		}
+	}
+	// Broadcast back down.
+	mask := 1
+	for mask < m {
+		if li&mask != 0 {
+			v.Recv(ls[li-mask], bytes, internalTag+41)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if li+mask < m {
+			v.Send(ls[li+mask], bytes, internalTag+41)
+		}
+		mask >>= 1
+	}
+}
+
+// Bcast: root publishes on its node, leaders tree across nodes, every node
+// publishes locally.
+func (v *pureRank) Bcast(bytes, root int) {
+	c := v.m.costs
+	v.bcastRound++
+	round := v.bcastRound
+	nd := v.node
+	rootNode := v.m.nodeIdx[v.m.place.NodeOf(root)]
+	myNode := v.myNodeIndex()
+
+	isPublisher := (myNode == rootNode && v.r == root) || (myNode != rootNode && v.local == 0)
+	if isPublisher {
+		if len(v.m.nodes) > 1 {
+			v.leaderBcastTree(bytes, root, rootNode)
+		}
+		v.p.Delay(int64(float64(bytes) * c.PureEagerPerByte)) // write shared buffer
+		nd.bcastSeq++
+		v.m.pulseNode(nd)
+		return
+	}
+	v.waitSSW(func() bool { return nd.bcastSeq >= round })
+	v.p.Delay(c.SPTDCopyOut + int64(float64(bytes)*c.PureEagerPerByte))
+}
+
+// leaderBcastTree distributes from the root node's publisher to all node
+// leaders.  On the root's node the publisher is the root rank itself; on
+// other nodes it is the node leader.
+func (v *pureRank) leaderBcastTree(bytes, root, rootNode int) {
+	m := len(v.m.nodes)
+	li := (v.myNodeIndex() - rootNode + m) % m
+	agent := func(u int) int {
+		ni := (u + rootNode) % m
+		if ni == rootNode {
+			// On the root's node the publisher is the root rank itself.
+			return root
+		}
+		return v.m.nodes[ni].ranks[0]
+	}
+	mask := 1
+	for mask < m {
+		if li&mask != 0 {
+			v.Recv(agent(li-mask), bytes, internalTag+42)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if li+mask < m {
+			v.Send(agent(li+mask), bytes, internalTag+42)
+		}
+		mask >>= 1
+	}
+}

@@ -1,0 +1,141 @@
+package desmodels
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Trace records per-rank activity intervals in virtual time, reproducing the
+// paper's Figure 1 timeline: which rank executed which task chunk (own or
+// stolen) and when ranks were blocked.  Attach one to PureOpts.Trace.
+type Trace struct {
+	Spans []Span
+}
+
+// SpanKind classifies an activity interval.
+type SpanKind int
+
+const (
+	// SpanCompute is plain rank computation.
+	SpanCompute SpanKind = iota
+	// SpanOwnChunk is a task chunk executed by its owning rank.
+	SpanOwnChunk
+	// SpanStolenChunk is a task chunk executed by a thief.
+	SpanStolenChunk
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanCompute:
+		return "compute"
+	case SpanOwnChunk:
+		return "own-chunk"
+	case SpanStolenChunk:
+		return "stolen-chunk"
+	default:
+		return fmt.Sprintf("SpanKind(%d)", int(k))
+	}
+}
+
+// Span is one activity interval of one rank.
+type Span struct {
+	Rank     int
+	Kind     SpanKind
+	Start    int64 // virtual ns
+	End      int64
+	Owner    int // task owner for chunk spans (== Rank for own chunks)
+	ChunkIdx int // chunk index for chunk spans, -1 otherwise
+}
+
+func (t *Trace) add(s Span) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, s)
+}
+
+// StolenChunks counts the chunks executed by ranks other than their owner.
+func (t *Trace) StolenChunks() int {
+	n := 0
+	for _, s := range t.Spans {
+		if s.Kind == SpanStolenChunk {
+			n++
+		}
+	}
+	return n
+}
+
+// Render draws an ASCII timeline like the paper's Figure 1: one row per
+// rank, time flowing right, with '#' for own chunks, digits for stolen
+// chunks (the digit is the owner rank mod 10), '=' for plain compute and
+// '.' for blocked time.  width is the number of character columns.
+func (t *Trace) Render(w io.Writer, width int) {
+	if len(t.Spans) == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	if width <= 0 {
+		width = 100
+	}
+	var tEnd int64
+	maxRank := 0
+	for _, s := range t.Spans {
+		if s.End > tEnd {
+			tEnd = s.End
+		}
+		if s.Rank > maxRank {
+			maxRank = s.Rank
+		}
+	}
+	if tEnd == 0 {
+		tEnd = 1
+	}
+	rows := make([][]byte, maxRank+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	// Paint later spans over earlier ones deterministically.
+	spans := make([]Span, len(t.Spans))
+	copy(spans, t.Spans)
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+	for _, s := range spans {
+		c0 := int(s.Start * int64(width) / tEnd)
+		c1 := int(s.End * int64(width) / tEnd)
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > width {
+			c1 = width
+		}
+		var ch byte
+		switch s.Kind {
+		case SpanOwnChunk:
+			ch = '#'
+		case SpanStolenChunk:
+			ch = byte('0' + s.Owner%10)
+		default:
+			ch = '='
+		}
+		for c := c0; c < c1; c++ {
+			rows[s.Rank][c] = ch
+		}
+	}
+	fmt.Fprintf(w, "timeline (0 .. %s): '#'=own chunk, digit=stolen chunk (owner), '='=compute, '.'=blocked\n", nsString(tEnd))
+	for r, row := range rows {
+		fmt.Fprintf(w, "rank %2d |%s|\n", r, row)
+	}
+}
+
+func nsString(v int64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fus", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}

@@ -1,0 +1,199 @@
+package desmodels
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// VCtx is the virtual-time analogue of comm.Backend: the interface the DES
+// workload skeletons are written against.  Payloads are sizes, computation
+// is nanoseconds; the model charges whatever its runtime would.
+type VCtx interface {
+	Rank() int
+	Size() int
+	// Compute burns ns of CPU on this rank.
+	Compute(ns int64)
+	// Task executes a chunked compute region whose chunks cost the given
+	// nanoseconds.  Under the Pure model, co-resident blocked ranks steal
+	// chunks; under MPI it is a serial loop; under MPI+OpenMP it is a
+	// fork-join parallel region.
+	Task(chunks []int64)
+	// Send starts a message; it blocks only as the modeled protocol blocks
+	// (rendezvous sends complete when the receiver has copied; matching
+	// progresses asynchronously, like a real MPI progress engine, so
+	// symmetric exchange patterns cannot deadlock).
+	Send(dst, bytes, tag int)
+	// Recv blocks until the matching message is delivered (Pure ranks steal
+	// while they wait).
+	Recv(src, bytes, tag int)
+	// Irecv posts a receive; complete it with Wait.
+	Irecv(src, bytes, tag int) Pending
+	// Wait blocks until a posted receive completes.
+	Wait(p Pending)
+	// Allreduce folds a payload of the given size across all ranks.
+	Allreduce(bytes int)
+	// Barrier synchronizes all ranks.
+	Barrier()
+	// Bcast distributes root's payload of the given size.
+	Bcast(bytes, root int)
+	// StepEnd marks an application step boundary (AMPI's load balancer hook;
+	// a no-op elsewhere).
+	StepEnd()
+}
+
+// internalTag is the base of the reserved tag space models use for their
+// own collective trees.
+const internalTag = 1 << 20
+
+// msgKey identifies a simulated channel.
+type msgKey struct{ src, dst, tag int }
+
+// vmsg is a simulated message: a size, plus rendezvous state when the
+// protocol needs the receiver to release the sender.
+type vmsg struct {
+	bytes int
+	ack   *cluster.Chan[int] // rendezvous: sender blocks on this
+}
+
+// Pending is a posted receive awaiting completion (VCtx.Irecv's handle).
+type Pending = *precv
+
+// precv is one posted receive in the matching engine.
+type precv struct {
+	done bool
+	// gotRvz records which protocol delivered (the receiver's post-wake
+	// cost differs: eager pays a copy-out, rendezvous does not).
+	gotRvz bool
+	bytes  int
+	intra  bool                // receiver-local: src on the same node
+	wake   *cluster.Chan[int]  // park point for chan-waiting models (MPI)
+	ampiCh *cluster.Chan[vmsg] // AMPI deferred-receive channel
+	onDone func()              // wakes the receiving rank (model-specific)
+}
+
+// pmsg is an arrived message (or rendezvous RTS) in the matching engine.
+type pmsg struct {
+	bytes int
+	rvz   bool
+	// transferNs is the rendezvous payload transfer time, charged as
+	// latency once both sides have arrived.
+	transferNs int64
+	// ack releases the blocked sender when the transfer completes.
+	ack func()
+}
+
+// keyState is the per-channel matching state: a FIFO of arrived messages
+// and a FIFO of posted receives (MPI non-overtaking per key).
+type keyState struct {
+	msgs   []pmsg
+	posted []*precv
+}
+
+// machine is the shared plumbing of all models: the engine, the placement,
+// the cost table, the per-key channels, and the matching engine.
+type machine struct {
+	eng   *cluster.Engine
+	place *topology.Placement
+	costs CostModel
+	inbox map[msgKey]*cluster.Chan[vmsg]
+	match map[msgKey]*keyState
+}
+
+func newMachine(place *topology.Placement, costs CostModel) *machine {
+	return &machine{
+		eng:   cluster.New(),
+		place: place,
+		costs: costs,
+		inbox: make(map[msgKey]*cluster.Chan[vmsg]),
+		match: make(map[msgKey]*keyState),
+	}
+}
+
+// chanFor returns the channel for a key, creating it on demand.  The engine
+// is single-threaded (strict process/engine alternation), so the map needs
+// no lock.
+func (m *machine) chanFor(k msgKey) *cluster.Chan[vmsg] {
+	if c, ok := m.inbox[k]; ok {
+		return c
+	}
+	c := cluster.NewChan[vmsg](m.eng, fmt.Sprintf("ch(%d->%d#%d)", k.src, k.dst, k.tag))
+	m.inbox[k] = c
+	return c
+}
+
+func (m *machine) stateFor(k msgKey) *keyState {
+	if s, ok := m.match[k]; ok {
+		return s
+	}
+	s := &keyState{}
+	m.match[k] = s
+	return s
+}
+
+// deliverMsg hands an arrived message (or RTS) to the matching engine; it
+// runs in proc or engine-callback context.
+func (m *machine) deliverMsg(k msgKey, msg pmsg) {
+	s := m.stateFor(k)
+	s.msgs = append(s.msgs, msg)
+	m.progress(s)
+}
+
+// postRecv registers a posted receive with the matching engine.
+func (m *machine) postRecv(k msgKey, pr *precv) {
+	s := m.stateFor(k)
+	s.posted = append(s.posted, pr)
+	m.progress(s)
+}
+
+// progress matches messages against posted receives in FIFO order — the
+// asynchronous progress a real MPI library performs.  Eager matches
+// complete immediately; rendezvous matches complete after the transfer
+// time, then release the sender.
+func (m *machine) progress(s *keyState) {
+	for len(s.msgs) > 0 && len(s.posted) > 0 {
+		msg := s.msgs[0]
+		s.msgs = s.msgs[:copy(s.msgs, s.msgs[1:])]
+		pr := s.posted[0]
+		s.posted = s.posted[:copy(s.posted, s.posted[1:])]
+		if !msg.rvz {
+			pr.done = true
+			pr.onDone()
+			continue
+		}
+		m.eng.At(msg.transferNs, func() {
+			pr.done = true
+			pr.gotRvz = true
+			pr.onDone()
+			if msg.ack != nil {
+				msg.ack()
+			}
+		})
+	}
+}
+
+// wireCost returns the modeled one-way delivery delay between two ranks for
+// an eager message of the given size, per the runtime kind.
+func (m *machine) interNode(a, b int) bool { return !m.place.SameNode(a, b) }
+
+func (m *machine) netDelay(bytes int) int64 {
+	return m.costs.NetLatency + m.costs.NetPerMsgCPU + int64(float64(bytes)*m.costs.NetPerByte)
+}
+
+// distClass maps a placement distance to the cost-model class index.
+func (m *machine) distClass(a, b int) int {
+	return int(m.place.DistanceBetween(a, b))
+}
+
+// Placement helpers shared by models.
+
+// defaultPlacement builds an SMP placement of n ranks, ranksPerNode per
+// 64-thread Cori node (0 = fill).
+func defaultPlacement(n, ranksPerNode int) (*topology.Placement, error) {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 64
+	}
+	nodes := (n + ranksPerNode - 1) / ranksPerNode
+	return topology.NewPlacement(topology.CoriSpec(nodes), n, ranksPerNode, topology.SMP, nil)
+}

@@ -1,0 +1,75 @@
+// Package ssw implements the Spin-Steal-Wait loop (paper §4.0.2).
+//
+// When a Pure rank blocks — waiting for a message, a collective phase, or a
+// task chunk — it does not sleep.  It spins on the blocking condition and,
+// between probes, attempts to steal one chunk of any Pure Task that is open
+// for stealing on its node, so idle cycles are soaked up by useful work.
+//
+// The paper pins one rank per hardware thread and spins unconditionally.
+// This port runs ranks as goroutines, frequently oversubscribed onto far
+// fewer cores (the development host has a single core), so unbounded
+// spinning would starve the very goroutine being waited on.  Waiter
+// therefore spins for a bounded budget and then yields to the Go scheduler
+// (runtime.Gosched), keeping the lock-free fast paths byte-identical while
+// preserving liveness.  The budget is configurable; with enough real cores a
+// large budget recovers the paper's pure-spin behaviour.
+package ssw
+
+import "runtime"
+
+// DefaultSpinBudget is how many condition probes a waiter performs between
+// yields when the caller does not specify one.
+const DefaultSpinBudget = 64
+
+// Stealer attempts one unit of stolen work and reports whether it stole
+// anything.  The Pure Task scheduler implements this; waits outside any
+// runtime (tests, mpibase) pass nil.
+type Stealer interface {
+	TrySteal() bool
+}
+
+// Waiter is a reusable SSW-Loop bound to one rank's stealer.
+type Waiter struct {
+	// Steal, if non-nil, is probed between condition checks.
+	Steal Stealer
+	// SpinBudget is the number of probes between yields; zero means
+	// DefaultSpinBudget.
+	SpinBudget int
+}
+
+// Wait blocks until cond returns true, stealing task chunks while it waits.
+// This is the loop the paper uses "in dozens of places in the Pure runtime":
+//
+//	for !cond() { if couldn't steal { maybe yield } }
+//
+// A successful steal resets the spin budget, because running a chunk was
+// forward progress (and took long enough that re-probing immediately is
+// cheap relative to the work done).
+func (w *Waiter) Wait(cond func() bool) {
+	budget := w.SpinBudget
+	if budget <= 0 {
+		budget = DefaultSpinBudget
+	}
+	spins := 0
+	for !cond() {
+		if w.Steal != nil && w.Steal.TrySteal() {
+			spins = 0 // stole a chunk: that's progress, keep spinning
+			continue
+		}
+		spins++
+		if spins >= budget {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// Func returns the waiter as a plain wait function, the shape the collective
+// structures accept.
+func (w *Waiter) Func() func(cond func() bool) { return w.Wait }
+
+// SpinWait is a stealer-less wait used by code that has no task scheduler in
+// scope (the MPI baseline, unit tests).
+func SpinWait(cond func() bool) {
+	(&Waiter{}).Wait(cond)
+}

@@ -1,0 +1,92 @@
+package ssw
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+type countingStealer struct {
+	available atomic.Int64
+	stolen    atomic.Int64
+}
+
+func (s *countingStealer) TrySteal() bool {
+	for {
+		n := s.available.Load()
+		if n == 0 {
+			return false
+		}
+		if s.available.CompareAndSwap(n, n-1) {
+			s.stolen.Add(1)
+			return true
+		}
+	}
+}
+
+func TestWaitReturnsImmediatelyWhenConditionHolds(t *testing.T) {
+	w := &Waiter{}
+	called := 0
+	w.Wait(func() bool { called++; return true })
+	if called != 1 {
+		t.Fatalf("condition evaluated %d times, want 1", called)
+	}
+}
+
+func TestWaitStealsWhileBlocked(t *testing.T) {
+	s := &countingStealer{}
+	s.available.Store(10)
+	w := &Waiter{Steal: s}
+	probes := 0
+	w.Wait(func() bool {
+		probes++
+		return probes > 5 // becomes true after a few probes
+	})
+	if s.stolen.Load() == 0 {
+		t.Error("waiter never stole despite available work")
+	}
+}
+
+func TestWaitWithoutStealerTerminates(t *testing.T) {
+	done := atomic.Bool{}
+	go func() { done.Store(true) }()
+	SpinWait(done.Load)
+	if !done.Load() {
+		t.Fatal("SpinWait returned before condition")
+	}
+}
+
+func TestWaitDrainsAllStealsBeforeParking(t *testing.T) {
+	// With work available and condition false-then-true, every probe
+	// between checks should steal (work-first policy).
+	s := &countingStealer{}
+	s.available.Store(3)
+	w := &Waiter{Steal: s, SpinBudget: 4}
+	probes := 0
+	w.Wait(func() bool {
+		probes++
+		return s.available.Load() == 0 // condition satisfied once work drained
+	})
+	if got := s.stolen.Load(); got != 3 {
+		t.Fatalf("stole %d, want 3", got)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	w := &Waiter{}
+	f := w.Func()
+	n := 0
+	f(func() bool { n++; return n >= 3 })
+	if n != 3 {
+		t.Fatalf("adapter evaluated %d times, want 3", n)
+	}
+}
+
+func TestSpinBudgetDefault(t *testing.T) {
+	// A zero budget must fall back to the default and still terminate.
+	w := &Waiter{SpinBudget: 0}
+	n := 0
+	w.Wait(func() bool { n++; return n > DefaultSpinBudget*2 })
+	if n <= DefaultSpinBudget*2 {
+		t.Fatal("wait exited early")
+	}
+}

@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseReorderFile reads a CrayPAT-style MPICH_RANK_ORDER file: a sequence of
+// rank numbers (comma- and/or newline-separated; '#' starts a comment) giving
+// the order in which ranks should be dealt onto the job's hardware threads.
+// The paper's experiments feed CrayPAT's recommended reorder files to both
+// the MPI baseline and Pure.
+//
+// The returned permutation perm satisfies: perm[i] is the application rank
+// seated at placement slot i.  Every rank in [0, nranks) must appear exactly
+// once.
+func ParseReorderFile(r io.Reader, nranks int) ([]int, error) {
+	perm := make([]int, 0, nranks)
+	seen := make([]bool, nranks)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		for _, field := range strings.FieldsFunc(text, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' }) {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("topology: reorder file line %d: bad rank %q: %v", line, field, err)
+			}
+			if v < 0 || v >= nranks {
+				return nil, fmt.Errorf("topology: reorder file line %d: rank %d out of range [0,%d)", line, v, nranks)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("topology: reorder file line %d: rank %d listed twice", line, v)
+			}
+			seen[v] = true
+			perm = append(perm, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading reorder file: %v", err)
+	}
+	if len(perm) != nranks {
+		return nil, fmt.Errorf("topology: reorder file lists %d ranks, want %d", len(perm), nranks)
+	}
+	return perm, nil
+}
+
+// PlacementFromReorder builds a Custom placement by dealing the reordered
+// ranks block-wise onto nodes, ranksPerNode at a time (the semantics of
+// MPICH_RANK_REORDER_METHOD=3 with a rank-order file).
+func PlacementFromReorder(spec Spec, nranks, ranksPerNode int, perm []int) (*Placement, error) {
+	if len(perm) != nranks {
+		return nil, fmt.Errorf("topology: permutation length %d != nranks %d", len(perm), nranks)
+	}
+	if ranksPerNode == 0 {
+		ranksPerNode = spec.HWThreadsPerNode()
+	}
+	seats := make([]HWThread, nranks)
+	for slot, rank := range perm {
+		node := slot / ranksPerNode
+		local := slot % ranksPerNode
+		if node >= spec.Nodes {
+			return nil, fmt.Errorf("topology: slot %d overflows %d nodes at %d ranks/node", slot, spec.Nodes, ranksPerNode)
+		}
+		seats[rank] = HWThreadAt(spec, node*spec.HWThreadsPerNode()+local)
+	}
+	return NewPlacement(spec, nranks, ranksPerNode, Custom, seats)
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"repro/internal/desmodels"
+)
+
+// CoMDParams configures the CoMD skeleton (paper §5.2, Figs. 5a-5c).
+// Weak scaling: per-rank work and message sizes are constant as ranks grow.
+type CoMDParams struct {
+	Ranks int
+	Steps int
+	// ForceNs is the per-step force-kernel cost per rank at perfect balance.
+	ForceNs int64
+	// OtherNs is the serial per-step remainder (integration, cell ops).
+	OtherNs int64
+	// HaloBytes is one face message's payload.
+	HaloBytes int
+	// PrintRate is the energy all-reduce period (steps).
+	PrintRate int
+	// TaskChunks chunked the force kernel when tasks are on.
+	TaskChunks int
+	// UseTask publishes the force kernel for stealing (Pure) or as an OMP
+	// region (hybrid).
+	UseTask bool
+
+	// VoidFactor(rank) scales the rank's force work for static imbalance
+	// (1 = full work; the §5.2.1 void spheres remove up to ~60%).
+	VoidFactor func(rank int) float64
+	// HotFactor(rank, step) scales force work dynamically (§5.2.2's moving
+	// hotspot); nil means balanced.
+	HotFactor func(rank, step int) float64
+}
+
+// DefaultCoMD returns the calibration used by the figure harness: force
+// dominates (~85% of a step), halo messages are a few KiB, energies are
+// reduced every 10 steps — the regime of CoMD's weak-scaling runs.
+func DefaultCoMD(ranks, steps int) CoMDParams {
+	return CoMDParams{
+		Ranks:     ranks,
+		Steps:     steps,
+		ForceNs:   280000, // force kernel per step (dominates, ~85%)
+		OtherNs:   30000,
+		HaloBytes: 12288, // boundary-cell positions: rendezvous-sized
+
+		PrintRate:  10,
+		TaskChunks: 32,
+	}
+}
+
+// VoidSpheres returns a VoidFactor reproducing the §5.2.1 static imbalance:
+// a fraction of ranks (those whose subdomain intersects the void spheres)
+// lose most of their atoms and hence most of their force work.
+func VoidSpheres(ranks int) func(int) float64 {
+	g := grid3(ranks)
+	return func(rank int) float64 {
+		c := coords3(rank, g)
+		// A large void around the domain center: ranks inside lose 70% of
+		// their work, ranks on the shell 35%.
+		dx := float64(c[0]) - float64(g[0]-1)/2
+		dy := float64(c[1]) - float64(g[1]-1)/2
+		dz := float64(c[2]) - float64(g[2]-1)/2
+		r2 := dx*dx + dy*dy + dz*dz
+		lim := float64(g[0]*g[0]) / 16
+		switch {
+		case r2 <= lim:
+			return 0.1 // inside the void: almost all atoms elided
+		case r2 <= 3*lim:
+			return 0.35
+		case r2 <= 5*lim:
+			return 0.7
+		default:
+			return 1.0
+		}
+	}
+}
+
+// MovingHotspot returns a HotFactor for the §5.2.2 dynamic imbalance: a
+// region of inflated work cycling through the rank grid over time.
+func MovingHotspot(ranks int, factor float64) func(int, int) float64 {
+	g := grid3(ranks)
+	return func(rank, step int) float64 {
+		c := coords3(rank, g)
+		// The hotspot sweeps along x, one plane per 2 steps (two planes wide
+		// on grids large enough that this leaves cold ranks to steal from).
+		hot := (step / 2) % g[0]
+		if c[0] == hot || (g[0] > 3 && (c[0]+1)%g[0] == hot) {
+			return factor
+		}
+		return 1.0
+	}
+}
+
+// CoMD returns the skeleton program.
+func CoMD(p CoMDParams) func(desmodels.VCtx) {
+	g := grid3(p.Ranks)
+	printRate := p.PrintRate
+	if printRate <= 0 {
+		printRate = 10
+	}
+	chunks := p.TaskChunks
+	if chunks <= 0 {
+		chunks = 32
+	}
+	return func(v desmodels.VCtx) {
+		for step := 0; step < p.Steps; step++ {
+			// Halo exchange of boundary atom positions.
+			haloExchange3D(v, g, p.HaloBytes, 300)
+			// Force kernel, scaled by the imbalance profile.
+			work := float64(p.ForceNs)
+			if p.VoidFactor != nil {
+				work *= p.VoidFactor(v.Rank())
+			}
+			if p.HotFactor != nil {
+				work *= p.HotFactor(v.Rank(), step)
+			}
+			if p.UseTask {
+				v.Task(evenChunks(int64(work), chunks))
+			} else {
+				v.Compute(int64(work))
+			}
+			// Integration etc. (serial).
+			v.Compute(p.OtherNs)
+			// CoMD's periodic global energy reduction.
+			if (step+1)%printRate == 0 {
+				v.Allreduce(16)
+			}
+			v.StepEnd()
+		}
+	}
+}
+
+// CoMDHybrid derives the MPI+OpenMP variant: p.Ranks/k processes, each
+// owning kx the subdomain; the force kernel is an OMP region (Task), the
+// serial remainder grows kx (Amdahl), halo faces grow with the subdomain
+// surface (k^(2/3)).
+func CoMDHybrid(p CoMDParams, k int) (CoMDParams, int) {
+	procs := p.Ranks / k
+	if procs < 1 {
+		procs = 1
+	}
+	surf := 1.0
+	switch k {
+	case 2:
+		surf = 1.6
+	case 4:
+		surf = 2.5
+	case 8:
+		surf = 4.0
+	default:
+		surf = float64(k) // pessimistic fallback
+	}
+	h := p
+	h.Ranks = procs
+	h.ForceNs = p.ForceNs * int64(k)
+	h.OtherNs = p.OtherNs * int64(k) // the non-OMP remainder is serialized per process
+	h.HaloBytes = int(float64(p.HaloBytes) * surf)
+	h.UseTask = true // the force kernel is the OMP region
+	if h.TaskChunks < k {
+		h.TaskChunks = 4 * k
+	}
+	return h, procs
+}
+
+// CoMDAMPI derives the over-decomposed AMPI variant: vp x more (smaller)
+// ranks.  Work per vrank shrinks by vp; faces shrink with the finer
+// subdomain surface.
+func CoMDAMPI(p CoMDParams, vp int) CoMDParams {
+	a := p
+	a.Ranks = p.Ranks * vp
+	a.ForceNs = p.ForceNs / int64(vp)
+	a.OtherNs = p.OtherNs / int64(vp)
+	surf := 1.0
+	switch vp {
+	case 2:
+		surf = 0.63
+	case 4:
+		surf = 0.4
+	}
+	a.HaloBytes = int(float64(p.HaloBytes) * surf)
+	a.UseTask = false
+	return a
+}

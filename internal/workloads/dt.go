@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"repro/internal/apps/dt"
+	"repro/internal/desmodels"
+)
+
+// DTParams configures the NAS DT (SH graph) skeleton (paper §5.1, Fig. 4).
+type DTParams struct {
+	Width, Layers int
+	// FeatureBytes is the feature-array payload per edge message.
+	FeatureBytes int
+	// Waves is the number of feature waves streamed through the graph.
+	Waves int
+	// WorkNsUnit converts dt.WorkCost units into nanoseconds; the
+	// heavy-tailed WorkCost distribution is the benchmark's "particularly
+	// unwieldy" load imbalance.
+	WorkNsUnit int64
+	// WorkScale is dt.WorkCost's scale argument.
+	WorkScale int
+	// UseTask publishes the transform for stealing.
+	UseTask bool
+	// TaskChunks is the transform task's chunk count.
+	TaskChunks int
+}
+
+// DTClass returns the skeleton parameters for a paper class (A-D, with rank
+// counts 80/192/448/1024).
+func DTClass(letter byte) (DTParams, error) {
+	ap, err := dt.Class(letter)
+	if err != nil {
+		return DTParams{}, err
+	}
+	return DTParams{
+		Width:        ap.Width,
+		Layers:       ap.Layers,
+		FeatureBytes: ap.FeatureLen * 8,
+		Waves:        ap.Waves,
+		WorkNsUnit:   2500,
+		WorkScale:    ap.WorkScale,
+		TaskChunks:   16,
+	}, nil
+}
+
+// DT returns the skeleton program for p.Width*p.Layers ranks.
+func DT(p DTParams) func(desmodels.VCtx) {
+	chunks := p.TaskChunks
+	if chunks <= 0 {
+		chunks = 16
+	}
+	return func(v desmodels.VCtx) {
+		w := p.Width
+		layer := v.Rank() / w
+		j := v.Rank() % w
+		transform := func(wave int) {
+			cost := int64(dt.WorkCost(v.Rank(), wave, p.WorkScale)) * p.WorkNsUnit
+			if p.UseTask {
+				v.Task(evenChunks(cost, chunks))
+			} else {
+				v.Compute(cost)
+			}
+		}
+		sendChildren := func() {
+			c1, c2 := dt.ChildrenOf(j, w)
+			v.Send((layer+1)*w+c1, p.FeatureBytes, 10)
+			v.Send((layer+1)*w+c2, p.FeatureBytes, 10)
+		}
+		recvParents := func() {
+			p1, p2 := dt.ParentsOf(j, w)
+			v.Recv((layer-1)*w+p1, p.FeatureBytes, 10)
+			v.Recv((layer-1)*w+p2, p.FeatureBytes, 10)
+		}
+		for wave := 0; wave < p.Waves; wave++ {
+			switch {
+			case layer == 0:
+				transform(wave)
+				sendChildren()
+			case layer < p.Layers-1:
+				recvParents()
+				transform(wave)
+				sendChildren()
+			default:
+				recvParents()
+				v.Compute(p.WorkNsUnit) // sink verification pass
+			}
+			v.StepEnd()
+		}
+		v.Allreduce(8) // final checksum reduction
+	}
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/desmodels"
+)
+
+// MiniAMRParams configures the miniAMR skeleton (paper §5.3, Fig. 5d):
+// block-structured AMR with a moving refinement object, nonblocking halo
+// traffic with level-dependent payload sizes, and an all-reduce every step.
+type MiniAMRParams struct {
+	Ranks int
+	Steps int
+	// BaseStencilNs is the level-0 per-step stencil cost.
+	BaseStencilNs int64
+	// BaseFaceBytes is the level-0 face payload.
+	BaseFaceBytes int
+	// MaxLevel bounds refinement; cost scales 8^level, faces 4^level.
+	MaxLevel int
+	// RefineRate re-evaluates refinement every this many steps.
+	RefineRate int
+	// UseTask publishes the stencil for stealing.
+	UseTask bool
+	// TaskChunks chunk count for the stencil task.
+	TaskChunks int
+}
+
+// DefaultMiniAMR returns the figure harness calibration.
+func DefaultMiniAMR(ranks, steps int) MiniAMRParams {
+	return MiniAMRParams{
+		Ranks:         ranks,
+		Steps:         steps,
+		BaseStencilNs: 60000,
+		BaseFaceBytes: 2048,
+		MaxLevel:      2,
+		RefineRate:    10,
+		TaskChunks:    32,
+	}
+}
+
+// amrLevel returns a rank's refinement level at a step: a spherical object
+// orbits the unit cube; blocks near its surface refine.  Deterministic and
+// identical across models.
+func amrLevel(rank, step int, g [3]int, maxLevel int) int {
+	c := coords3(rank, g)
+	t := float64(step) * 0.03
+	frac := func(v float64) float64 { return v - math.Floor(v) }
+	ox := frac(0.3 + t)
+	oy := frac(0.4 + 0.7*t)
+	oz := frac(0.5 + 0.4*t)
+	bx := (float64(c[0]) + 0.5) / float64(g[0])
+	by := (float64(c[1]) + 0.5) / float64(g[1])
+	bz := (float64(c[2]) + 0.5) / float64(g[2])
+	d := math.Sqrt((bx-ox)*(bx-ox) + (by-oy)*(by-oy) + (bz-oz)*(bz-oz))
+	switch {
+	case d < 0.15:
+		return maxLevel
+	case d < 0.3:
+		return max(maxLevel-1, 0)
+	case d < 0.5:
+		return maxLevel / 2
+	default:
+		return 0
+	}
+}
+
+// MiniAMR returns the skeleton program.
+func MiniAMR(p MiniAMRParams) func(desmodels.VCtx) {
+	g := grid3(p.Ranks)
+	rate := p.RefineRate
+	if rate <= 0 {
+		rate = 10
+	}
+	chunks := p.TaskChunks
+	if chunks <= 0 {
+		chunks = 32
+	}
+	return func(v desmodels.VCtx) {
+		level := 0
+		for step := 0; step < p.Steps; step++ {
+			if step%rate == 0 {
+				newLevel := amrLevel(v.Rank(), step, g, p.MaxLevel)
+				if newLevel != level {
+					// Resample cost proportional to the larger grid.
+					bigger := max(level, newLevel)
+					v.Compute(p.BaseStencilNs / 4 << bigger)
+					level = newLevel
+				}
+				// Refinement consensus / load statistics.
+				v.Allreduce(64)
+			}
+			// The paper's configuration showed "no significant load
+			// imbalance": refinement grows cost and traffic moderately
+			// (resolution rises but blocks shed work to neighbours in real
+			// miniAMR's repartitioning, which we fold into the exponent).
+			faceBytes := p.BaseFaceBytes << level
+			haloExchange3D(v, g, faceBytes, 320)
+			cost := p.BaseStencilNs << level
+			if p.UseTask {
+				v.Task(evenChunks(cost, chunks))
+			} else {
+				v.Compute(cost)
+			}
+			// miniAMR's per-step dt/residual all-reduce.
+			v.Allreduce(8)
+			v.StepEnd()
+		}
+	}
+}

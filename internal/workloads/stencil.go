@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"repro/internal/desmodels"
+)
+
+// StencilParams configures the §2 rand-stencil skeleton (the paper's
+// running example: 32 ranks on one node, ~10% gain from messaging alone and
+// >200% with tasks).
+type StencilParams struct {
+	Ranks int
+	Iters int
+	// ChunksPerRank is the rand-work task's chunk count.
+	ChunksPerRank int
+	// MeanChunkNs is the average chunk cost; actual chunk costs are drawn
+	// from a deterministic heavy-tailed hash per (rank, iter, chunk) — the
+	// paper's random_work variability.
+	MeanChunkNs int64
+	// EdgeBytes is the neighbour edge-exchange payload (one double).
+	EdgeBytes int
+	// AverageNs is the serial 3-point averaging pass.
+	AverageNs int64
+	// UseTask publishes rand-work for stealing.
+	UseTask bool
+}
+
+// DefaultStencil is the figure harness calibration for the §2 experiment.
+func DefaultStencil(ranks, iters int) StencilParams {
+	return StencilParams{
+		Ranks:         ranks,
+		Iters:         iters,
+		ChunksPerRank: 32,
+		MeanChunkNs:   400,
+		EdgeBytes:     8,
+		AverageNs:     15000,
+	}
+}
+
+// chunkCost draws the per-chunk cost: a heavy-tailed per-(rank, iteration)
+// factor (the paper's random_work makes some *ranks* very slow each
+// iteration) with mild per-chunk jitter.
+func chunkCost(rank, iter, chunk int, mean int64) int64 {
+	hr := hash64(rank, iter, 0x5151)
+	f := int64(1 + hr%16%6)
+	if hr%16 >= 14 { // heavy tail: occasionally a rank is ~4x slower still
+		f = 16
+	}
+	hc := hash64(rank, iter, chunk)
+	jitter := int64(3 + hc%3)
+	return mean * f * jitter / 4
+}
+
+// Stencil returns the skeleton program.
+func Stencil(p StencilParams) func(desmodels.VCtx) {
+	chunks := p.ChunksPerRank
+	if chunks <= 0 {
+		chunks = 32
+	}
+	return func(v desmodels.VCtx) {
+		n := v.Size()
+		for it := 0; it < p.Iters; it++ {
+			cs := make([]int64, chunks)
+			for i := range cs {
+				cs[i] = chunkCost(v.Rank(), it, i, p.MeanChunkNs)
+			}
+			if p.UseTask {
+				v.Task(cs)
+			} else {
+				var sum int64
+				for _, c := range cs {
+					sum += c
+				}
+				v.Compute(sum)
+			}
+			v.Compute(p.AverageNs)
+			// Edge exchanges with both neighbours (non-periodic chain).
+			if v.Rank() > 0 {
+				exchange(v, v.Rank()-1, p.EdgeBytes, 330)
+			}
+			if v.Rank() < n-1 {
+				exchange(v, v.Rank()+1, p.EdgeBytes, 330)
+			}
+			v.StepEnd()
+		}
+	}
+}

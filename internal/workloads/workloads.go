@@ -1,0 +1,127 @@
+// Package workloads provides the DES workload skeletons that regenerate the
+// paper's application figures: the same communication patterns and load
+// profiles as the executable mini-apps in internal/apps, expressed as
+// cost-annotated SPMD programs over the desmodels.VCtx interface so one
+// skeleton produces every line of a figure (MPI, Pure, Pure+tasks,
+// MPI+OpenMP, AMPI variants).
+//
+// Compute costs are expressed in virtual nanoseconds.  The constants in
+// each skeleton's Params set the compute/communication ratio; the figure
+// harness (cmd/purebench) uses defaults derived from the real mini-apps'
+// measured kernel costs.
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/desmodels"
+)
+
+// grid3 factors n into a near-cubic 3-D decomposition (px >= py >= pz,
+// px*py*pz == n).
+func grid3(n int) [3]int {
+	best := [3]int{n, 1, 1}
+	bestSurf := math.MaxFloat64
+	for pz := 1; pz*pz*pz <= n; pz++ {
+		if n%pz != 0 {
+			continue
+		}
+		m := n / pz
+		for py := pz; py*py <= m; py++ {
+			if m%py != 0 {
+				continue
+			}
+			px := m / py
+			// surface-to-volume heuristic
+			s := float64(px*py + py*pz + px*pz)
+			if s < bestSurf {
+				bestSurf = s
+				best = [3]int{px, py, pz}
+			}
+		}
+	}
+	return best
+}
+
+// coords3 maps a rank to its grid coordinates.
+func coords3(r int, g [3]int) [3]int {
+	return [3]int{r % g[0], (r / g[0]) % g[1], r / (g[0] * g[1])}
+}
+
+// rank3 maps grid coordinates (with wraparound) to the rank.
+func rank3(c [3]int, g [3]int) int {
+	x := (c[0] + g[0]) % g[0]
+	y := (c[1] + g[1]) % g[1]
+	z := (c[2] + g[2]) % g[2]
+	return (z*g[1]+y)*g[0] + x
+}
+
+// exchange swaps equal payloads with a peer, posting the receive first (the
+// same nonblocking-receive-then-send pattern the real apps use).
+func exchange(v desmodels.VCtx, peer, bytes, tag int) {
+	if peer == v.Rank() {
+		return
+	}
+	pr := v.Irecv(peer, bytes, tag)
+	v.Send(peer, bytes, tag)
+	v.Wait(pr)
+}
+
+// haloExchange3D swaps faces with all six neighbours of a 3-D decomposition:
+// post all receives, send all faces, wait (the real apps' pattern).
+func haloExchange3D(v desmodels.VCtx, g [3]int, bytes int, tagBase int) {
+	c := coords3(v.Rank(), g)
+	var pending []desmodels.Pending
+	type out struct{ peer, bytes, tag int }
+	var sends []out
+	for axis := 0; axis < 3; axis++ {
+		if g[axis] == 1 {
+			continue
+		}
+		lo, hi := c, c
+		lo[axis]--
+		hi[axis]++
+		loR, hiR := rank3(lo, g), rank3(hi, g)
+		if loR == hiR {
+			// Two ranks along this axis: both directions to one peer, with
+			// direction-distinct tags.
+			pending = append(pending, v.Irecv(loR, bytes, tagBase+axis))
+			pending = append(pending, v.Irecv(loR, bytes, tagBase+axis+8))
+			sends = append(sends, out{loR, bytes, tagBase + axis}, out{loR, bytes, tagBase + axis + 8})
+			continue
+		}
+		pending = append(pending, v.Irecv(loR, bytes, tagBase+axis))
+		pending = append(pending, v.Irecv(hiR, bytes, tagBase+axis))
+		sends = append(sends, out{loR, bytes, tagBase + axis}, out{hiR, bytes, tagBase + axis})
+	}
+	for _, s := range sends {
+		v.Send(s.peer, s.bytes, s.tag)
+	}
+	for _, p := range pending {
+		v.Wait(p)
+	}
+}
+
+// evenChunks splits total ns into n equal chunks.
+func evenChunks(total int64, n int) []int64 {
+	if n <= 0 {
+		n = 1
+	}
+	cs := make([]int64, n)
+	per := total / int64(n)
+	for i := range cs {
+		cs[i] = per
+	}
+	cs[n-1] += total - per*int64(n)
+	return cs
+}
+
+// hash64 is the shared deterministic mixing function for pseudo-random
+// per-(rank, step) load variation.
+func hash64(a, b, c int) uint64 {
+	h := uint64(a)*0x9E3779B97F4A7C15 ^ uint64(b)*0xBF58476D1CE4E5B9 ^ uint64(c)*0x94D049BB133111EB
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,259 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/desmodels"
+)
+
+var costs = desmodels.Paper()
+
+func TestGrid3Properties(t *testing.T) {
+	f := func(nU uint8) bool {
+		n := int(nU) + 1
+		g := grid3(n)
+		if g[0]*g[1]*g[2] != n {
+			return false
+		}
+		// Round-trip every rank.
+		for r := 0; r < n; r++ {
+			if rank3(coords3(r, g), g) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if g := grid3(64); g != [3]int{4, 4, 4} {
+		t.Errorf("grid3(64) = %v, want cubic", g)
+	}
+	if g := grid3(2048); g[0]*g[1]*g[2] != 2048 {
+		t.Errorf("grid3(2048) = %v", g)
+	}
+}
+
+func TestEvenChunksSum(t *testing.T) {
+	f := func(totalU uint16, nU uint8) bool {
+		total := int64(totalU)
+		n := int(nU%32) + 1
+		cs := evenChunks(total, n)
+		var sum int64
+		for _, c := range cs {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total && len(cs) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkCostHeavyTail(t *testing.T) {
+	// The tail is at (rank, iteration) granularity: some ranks are much
+	// slower in a given iteration (the paper's random_work).
+	var lo, hi int64 = 1 << 60, 0
+	for rank := 0; rank < 64; rank++ {
+		for iter := 0; iter < 16; iter++ {
+			c := chunkCost(rank, iter, 0, 20000)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	if hi < 8*lo {
+		t.Fatalf("tail too flat: [%d, %d]", lo, hi)
+	}
+}
+
+// runBoth runs a skeleton under MPI and Pure and returns (mpiNs, pureNs).
+func runBoth(t *testing.T, n, rpn int, opts desmodels.PureOpts, prog func(desmodels.VCtx)) (int64, int64) {
+	t.Helper()
+	mpiT, err := desmodels.RunMPI(n, rpn, costs, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureT, err := desmodels.RunPure(n, rpn, costs, opts, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpiT, pureT
+}
+
+func TestStencilSec2Shape(t *testing.T) {
+	// Paper §2: 32 ranks, 1 node: ~10% from messaging, >200% with tasks.
+	p := DefaultStencil(32, 10)
+	mpiT, pureNoTask := runBoth(t, 32, 0, desmodels.PureOpts{}, Stencil(p))
+	p.UseTask = true
+	pureTask, err := desmodels.RunPure(32, 0, costs, desmodels.PureOpts{}, Stencil(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgGain := float64(mpiT)/float64(pureNoTask) - 1
+	taskSpeedup := float64(mpiT) / float64(pureTask)
+	t.Logf("stencil: mpi=%d pure=%d pure+tasks=%d (msg +%.0f%%, tasks %.2fx)",
+		mpiT, pureNoTask, pureTask, msgGain*100, taskSpeedup)
+	if msgGain <= 0 {
+		t.Errorf("messaging-only gain %.2f%% should be positive", msgGain*100)
+	}
+	if taskSpeedup < 2.0 {
+		t.Errorf("task speedup %.2fx, paper reports >3x (200%% speedup); want at least 2x", taskSpeedup)
+	}
+}
+
+func TestDTFig4Shape(t *testing.T) {
+	p, err := DTClass('A')
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Waves = 3 // trim for test speed
+	n := p.Width * p.Layers
+	const rpn = 40 // paper: 40 ranks/node for class A
+	mpiT, pureNoTask := runBoth(t, n, rpn, desmodels.PureOpts{}, DT(p))
+	pTask := p
+	pTask.UseTask = true
+	pureTask, err := desmodels.RunPure(n, rpn, costs, desmodels.PureOpts{}, DT(pTask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureHelp, err := desmodels.RunPure(n, rpn, costs, desmodels.PureOpts{HelpersPerNode: 24}, DT(pTask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMsg := float64(mpiT) / float64(pureNoTask)
+	sTask := float64(mpiT) / float64(pureTask)
+	sHelp := float64(mpiT) / float64(pureHelp)
+	t.Logf("DT class A: mpi=%d pure=%.2fx pure+tasks=%.2fx +helpers=%.2fx", mpiT, sMsg, sTask, sHelp)
+	// Paper: messaging 1.11-1.25x; tasks 1.7-2.5x; helpers push class A
+	// 2.3 -> 2.6x.  Accept the shape with slack.
+	if sMsg < 1.02 {
+		t.Errorf("messaging-only speedup %.2f should exceed 1", sMsg)
+	}
+	if sTask < 1.4 {
+		t.Errorf("task speedup %.2f too small for DT's imbalance", sTask)
+	}
+	if sHelp < sTask*0.98 {
+		t.Errorf("helpers (%.2fx) should not hurt vs tasks (%.2fx)", sHelp, sTask)
+	}
+}
+
+func TestCoMDFig5aShape(t *testing.T) {
+	p := DefaultCoMD(64, 20)
+	mpiT, pureT := runBoth(t, 64, 0, desmodels.PureOpts{}, CoMD(p))
+	hp, procs := CoMDHybrid(p, 4)
+	hybT, err := desmodels.RunHybrid(procs, 4, 16, costs, CoMD(hp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPure := float64(mpiT) / float64(pureT)
+	sHyb := float64(mpiT) / float64(hybT)
+	t.Logf("CoMD 64 ranks: mpi=%d pure=%d (%.2fx) hybrid=%d (%.2fx)", mpiT, pureT, sPure, hybT, sHyb)
+	// Paper: Pure 7-25% over MPI; hybrid UNDERperforms MPI.
+	if sPure < 1.02 || sPure > 1.6 {
+		t.Errorf("Pure CoMD speedup %.2f outside the paper's regime", sPure)
+	}
+	if sHyb >= 1.0 {
+		t.Errorf("hybrid should underperform MPI, got %.2fx", sHyb)
+	}
+}
+
+func TestCoMDFig5bImbalancedShape(t *testing.T) {
+	p := DefaultCoMD(64, 20)
+	p.VoidFactor = VoidSpheres(64)
+	mpiT, err := desmodels.RunMPI(64, 0, costs, CoMD(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTask := p
+	pTask.UseTask = true
+	pureT, err := desmodels.RunPure(64, 0, costs, desmodels.PureOpts{}, CoMD(pTask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := float64(mpiT) / float64(pureT)
+	t.Logf("imbalanced CoMD: mpi=%d pure+tasks=%d speedup=%.2fx", mpiT, pureT, s)
+	// Paper: 1.6-2.1x.
+	if s < 1.3 {
+		t.Errorf("imbalanced CoMD speedup %.2f too small", s)
+	}
+}
+
+func TestCoMDFig5cDynamicWithAMPI(t *testing.T) {
+	p := DefaultCoMD(16, 24)
+	p.HotFactor = MovingHotspot(16, 4)
+	mpiT, err := desmodels.RunMPI(16, 16, costs, CoMD(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTask := p
+	pTask.UseTask = true
+	pureT, err := desmodels.RunPure(16, 16, costs, desmodels.PureOpts{}, CoMD(pTask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AMPI with 2 vranks/core.
+	ap := CoMDAMPI(p, 2)
+	ampiT, migs, err := desmodels.RunAMPI(ap.Ranks, costs, desmodels.AMPIOpts{VP: 2, CoresPerNode: 16}, CoMD(ap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPure := float64(mpiT) / float64(pureT)
+	sAMPI := float64(mpiT) / float64(ampiT)
+	t.Logf("dynamic CoMD: mpi=%d pure=%d (%.2fx) ampi2vp=%d (%.2fx, %d migrations)",
+		mpiT, pureT, sPure, ampiT, sAMPI, migs)
+	if sPure < 1.2 {
+		t.Errorf("Pure dynamic speedup %.2f too small", sPure)
+	}
+	// Paper: Pure beats the best AMPI by >=25%.
+	if sPure < sAMPI*1.1 {
+		t.Errorf("Pure (%.2fx) should beat AMPI (%.2fx)", sPure, sAMPI)
+	}
+}
+
+func TestMiniAMRFig5dShape(t *testing.T) {
+	p := DefaultMiniAMR(64, 30)
+	mpiT, pureT := runBoth(t, 64, 0, desmodels.PureOpts{}, MiniAMR(p))
+	s := float64(mpiT) / float64(pureT)
+	t.Logf("miniAMR 64 ranks: mpi=%d pure=%d speedup=%.2fx", mpiT, pureT, s)
+	if s < 1.02 {
+		t.Errorf("Pure miniAMR speedup %.2f should exceed 1", s)
+	}
+}
+
+func TestWeakScalingMonotonicity(t *testing.T) {
+	// End-to-end runtime should grow (weakly) with scale under weak scaling
+	// as collective depth grows.
+	var prev int64
+	for _, n := range []int{8, 64, 128} {
+		p := DefaultCoMD(n, 10)
+		tm, err := desmodels.RunMPI(n, 64, costs, CoMD(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("CoMD MPI n=%d: %d", n, tm)
+		if tm < prev*8/10 {
+			t.Errorf("runtime shrank sharply with scale: %d -> %d", prev, tm)
+		}
+		prev = tm
+	}
+}
+
+func TestHaloExchangeNoDeadlockOddGrids(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 6, 12, 30} {
+		p := DefaultCoMD(n, 3)
+		if _, err := desmodels.RunMPI(n, 0, costs, CoMD(p)); err != nil {
+			t.Errorf("n=%d mpi: %v", n, err)
+		}
+		if _, err := desmodels.RunPure(n, 0, costs, desmodels.PureOpts{}, CoMD(p)); err != nil {
+			t.Errorf("n=%d pure: %v", n, err)
+		}
+	}
+}

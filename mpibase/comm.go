@@ -1,0 +1,364 @@
+package mpibase
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/collective"
+)
+
+// commShared is the rank-independent state of one communicator.
+type commShared struct {
+	id      uint64
+	members []int
+	indexOf map[int]int
+	// split scratch; writes disjoint per rank, fenced by barriers.
+	splitBuf []splitEntry
+}
+
+type splitEntry struct{ color, key int }
+
+type splitKey struct {
+	parent uint64
+	epoch  uint64
+	color  int
+}
+
+func (rt *Runtime) newCommShared(members []int) *commShared {
+	sh := &commShared{
+		id:       rt.ids.Add(1),
+		members:  members,
+		indexOf:  make(map[int]int, len(members)),
+		splitBuf: make([]splitEntry, len(members)),
+	}
+	for cr, g := range members {
+		sh.indexOf[g] = cr
+	}
+	return sh
+}
+
+// Comm is a communicator handle (the analogue of MPI_Comm).
+type Comm struct {
+	p          *Proc
+	sh         *commShared
+	myRank     int
+	splitEpoch uint64
+}
+
+// Rank returns the caller's rank in the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.sh.members) }
+
+func (c *Comm) checkPeer(peer int, what string) {
+	if peer < 0 || peer >= len(c.sh.members) {
+		panic(fmt.Sprintf("mpibase: %s rank %d out of range [0,%d)", what, peer, len(c.sh.members)))
+	}
+}
+
+func checkTag(tag int) {
+	if tag < 0 || tag >= collTagBase {
+		panic(fmt.Sprintf("mpibase: tag %d outside [0, %d)", tag, collTagBase))
+	}
+}
+
+// Send blocks until buf is reusable (eager: buffered; rendezvous: delivered).
+func (c *Comm) Send(buf []byte, dst, tag int) {
+	c.checkPeer(dst, "destination")
+	checkTag(tag)
+	c.p.waitReq(c.p.isend(c.sh.id, buf, c.sh.members[dst], tag))
+}
+
+// Recv blocks until a matching message is delivered into buf.
+func (c *Comm) Recv(buf []byte, src, tag int) int {
+	c.checkPeer(src, "source")
+	checkTag(tag)
+	return c.p.waitReq(c.p.irecv(c.sh.id, buf, c.sh.members[src], tag))
+}
+
+// Isend starts a nonblocking send.
+func (c *Comm) Isend(buf []byte, dst, tag int) *Request {
+	c.checkPeer(dst, "destination")
+	checkTag(tag)
+	return c.p.isend(c.sh.id, buf, c.sh.members[dst], tag)
+}
+
+// Irecv starts a nonblocking receive.
+func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
+	c.checkPeer(src, "source")
+	checkTag(tag)
+	return c.p.irecv(c.sh.id, buf, c.sh.members[src], tag)
+}
+
+// Wait blocks until req completes.
+func (c *Comm) Wait(req *Request) int { return c.p.waitReq(req) }
+
+// Waitall completes every request.
+func (c *Comm) Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		c.p.waitReq(r)
+	}
+}
+
+// internal send/recv on the reserved collective tag space.
+func (c *Comm) csend(buf []byte, dst, tag int) {
+	c.p.waitReq(c.p.isend(c.sh.id, buf, c.sh.members[dst], tag))
+}
+func (c *Comm) crecv(buf []byte, src, tag int) int {
+	return c.p.waitReq(c.p.irecv(c.sh.id, buf, c.sh.members[src], tag))
+}
+
+// Barrier is a dissemination barrier: ceil(log2(n)) rounds of pairwise
+// token exchanges (the classic process-model algorithm; contrast with
+// Pure's SPTD barrier which needs no messages within a node).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.myRank
+	token := []byte{1}
+	in := make([]byte, 1)
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		tag := collTagBase + round
+		req := c.p.irecv(c.sh.id, in, c.sh.members[from], tag)
+		c.p.waitReq(c.p.isend(c.sh.id, token, c.sh.members[to], tag))
+		c.p.waitReq(req)
+	}
+}
+
+// Bcast distributes root's buf via a binomial tree.
+func (c *Comm) Bcast(buf []byte, root int) {
+	c.checkPeer(root, "root")
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	v := (c.myRank - root + n) % n
+	toReal := func(u int) int { return (u + root) % n }
+	mask := 1
+	for mask < n {
+		if v&mask != 0 {
+			c.crecv(buf, toReal(v-mask), collTagBase+16)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if v+mask < n {
+			c.csend(buf, toReal(v+mask), collTagBase+16)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce folds every rank's in into root's out via a binomial tree.
+// Non-root ranks may pass nil out.
+func (c *Comm) Reduce(in, out []byte, root int, op Op, dt DType) {
+	c.checkPeer(root, "root")
+	if c.myRank == root && out == nil {
+		panic("mpibase: root must supply an output buffer to Reduce")
+	}
+	n := c.Size()
+	acc := make([]byte, len(in))
+	copy(acc, in)
+	v := (c.myRank - root + n) % n
+	toReal := func(u int) int { return (u + root) % n }
+	var tmp []byte
+	for mask := 1; mask < n; mask <<= 1 {
+		if v&mask != 0 {
+			// Forward our partial up the tree and we are done (the root has
+			// v == 0 and never takes this branch).
+			c.csend(acc, toReal(v-mask), collTagBase+17)
+			return
+		}
+		if v+mask < n {
+			if tmp == nil {
+				tmp = make([]byte, len(in))
+			}
+			c.crecv(tmp[:len(in)], toReal(v+mask), collTagBase+17)
+			collective.Accumulate(acc, tmp[:len(in)], op, dt)
+		}
+	}
+	// Only the root reaches here.
+	copy(out, acc)
+}
+
+// Allreduce folds every rank's in into every rank's out (reduce + bcast).
+func (c *Comm) Allreduce(in, out []byte, op Op, dt DType) {
+	c.Reduce(in, out, 0, op, dt)
+	c.Bcast(out, 0)
+}
+
+// Split partitions the communicator like MPI_Comm_split (color < 0 opts out).
+func (c *Comm) Split(color, key int) *Comm {
+	sh := c.sh
+	sh.splitBuf[c.myRank] = splitEntry{color: color, key: key}
+	c.Barrier()
+	c.splitEpoch++
+	var newComm *Comm
+	if color >= 0 {
+		type member struct{ key, commRank int }
+		var group []member
+		for cr, e := range sh.splitBuf {
+			if e.color == color {
+				group = append(group, member{e.key, cr})
+			}
+		}
+		sort.Slice(group, func(a, b int) bool {
+			if group[a].key != group[b].key {
+				return group[a].key < group[b].key
+			}
+			return group[a].commRank < group[b].commRank
+		})
+		members := make([]int, len(group))
+		for i, g := range group {
+			members[i] = sh.members[g.commRank]
+		}
+		k := splitKey{parent: sh.id, epoch: c.splitEpoch, color: color}
+		fresh := c.p.rt.newCommShared(members)
+		v, _ := c.p.rt.comms.LoadOrStore(k, fresh)
+		newSh := v.(*commShared)
+		newComm = &Comm{p: c.p, sh: newSh, myRank: newSh.indexOf[c.p.id]}
+	}
+	c.Barrier()
+	return newComm
+}
+
+// Allreduce for non-root ranks needs a buffer too; typed helpers below keep
+// application code compact (mirroring package pure's helpers).
+
+// AllreduceFloat64s element-wise sums/folds in into out across all ranks.
+func (c *Comm) AllreduceFloat64s(in, out []float64, op Op) {
+	ib := float64Bytes(in)
+	ob := make([]byte, len(ib))
+	c.Allreduce(ib, ob, op, Float64)
+	getFloat64s(out, ob)
+}
+
+// AllreduceFloat64 folds a single float64 across all ranks.
+func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
+	out := make([]float64, 1)
+	c.AllreduceFloat64s([]float64{v}, out, op)
+	return out[0]
+}
+
+// AllreduceInt64 folds a single int64 across all ranks.
+func (c *Comm) AllreduceInt64(v int64, op Op) int64 {
+	ib := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ib, uint64(v))
+	ob := make([]byte, 8)
+	c.Allreduce(ib, ob, op, Int64)
+	return int64(binary.LittleEndian.Uint64(ob))
+}
+
+// SendFloat64s sends a float64 vector.
+func (c *Comm) SendFloat64s(vals []float64, dst, tag int) {
+	c.Send(float64Bytes(vals), dst, tag)
+}
+
+// RecvFloat64s receives exactly len(vals) float64s.
+func (c *Comm) RecvFloat64s(vals []float64, src, tag int) {
+	b := make([]byte, 8*len(vals))
+	n := c.Recv(b, src, tag)
+	getFloat64s(vals[:n/8], b[:n])
+}
+
+// BcastFloat64s broadcasts root's vals to everyone.
+func (c *Comm) BcastFloat64s(vals []float64, root int) {
+	b := make([]byte, 8*len(vals))
+	if c.Rank() == root {
+		putFloat64s(b, vals)
+	}
+	c.Bcast(b, root)
+	getFloat64s(vals, b)
+}
+
+func float64Bytes(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	putFloat64s(b, vals)
+	return b
+}
+
+func putFloat64s(b []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+}
+
+func getFloat64s(vals []float64, b []byte) {
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// ---- Extension collectives (matching package pure's extended surface) ----
+
+// Gather collects every rank's equal-sized in payload into root's out
+// buffer (Size()*len(in) bytes at the root; others may pass nil).
+func (c *Comm) Gather(in, out []byte, root int) {
+	c.checkPeer(root, "root")
+	n := c.Size()
+	if c.myRank == root {
+		if len(out) < n*len(in) {
+			panic(fmt.Sprintf("mpibase: Gather root buffer %d too small for %d x %d", len(out), n, len(in)))
+		}
+		copy(out[root*len(in):], in)
+		for cr := 0; cr < n; cr++ {
+			if cr == root {
+				continue
+			}
+			c.crecv(out[cr*len(in):(cr+1)*len(in)], cr, collTagBase+18)
+		}
+		return
+	}
+	c.csend(in, root, collTagBase+18)
+}
+
+// Allgather collects every rank's in into every rank's out.
+func (c *Comm) Allgather(in, out []byte) {
+	if len(out) < c.Size()*len(in) {
+		panic(fmt.Sprintf("mpibase: Allgather buffer %d too small for %d x %d", len(out), c.Size(), len(in)))
+	}
+	c.Gather(in, out, 0)
+	c.Bcast(out[:c.Size()*len(in)], 0)
+}
+
+// Scatter distributes len(out)-byte slices of root's in to every rank's out.
+func (c *Comm) Scatter(in, out []byte, root int) {
+	c.checkPeer(root, "root")
+	n := c.Size()
+	if c.myRank == root {
+		if len(in) < n*len(out) {
+			panic(fmt.Sprintf("mpibase: Scatter root buffer %d too small for %d x %d", len(in), n, len(out)))
+		}
+		copy(out, in[root*len(out):(root+1)*len(out)])
+		for cr := 0; cr < n; cr++ {
+			if cr == root {
+				continue
+			}
+			c.csend(in[cr*len(out):(cr+1)*len(out)], cr, collTagBase+19)
+		}
+		return
+	}
+	c.crecv(out, root, collTagBase+19)
+}
+
+// Sendrecv pairs a send and a receive without deadlock risk (the analogue
+// of MPI_Sendrecv); returns the received byte count.
+func (c *Comm) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) int {
+	c.checkPeer(dst, "destination")
+	c.checkPeer(src, "source")
+	checkTag(sendTag)
+	checkTag(recvTag)
+	rreq := c.p.irecv(c.sh.id, recvBuf, c.sh.members[src], recvTag)
+	sreq := c.p.isend(c.sh.id, sendBuf, c.sh.members[dst], sendTag)
+	c.p.waitReq(sreq)
+	return c.p.waitReq(rreq)
+}

@@ -1,0 +1,256 @@
+// Package pure is a Go implementation of the Pure programming model
+// (Psota & Solar-Lezama, "Pure: Evolving Message Passing To Better Leverage
+// Shared Memory Within Nodes", PPoPP 2024): message passing with optional
+// tasks.
+//
+// A Pure program is SPMD: Run launches a fixed set of ranks that execute the
+// same function and communicate explicitly.  The rank namespace is flat
+// across the (virtual) cluster even though ranks within a node share an
+// address space; the runtime routes each message over the fastest path its
+// endpoints allow — a lock-free single-producer/single-consumer buffer queue
+// for small intra-node messages, a single-copy rendezvous protocol for large
+// intra-node messages, and the inter-node transport otherwise.  Collectives
+// (Barrier, Reduce, Allreduce, Bcast) are semantically equivalent to MPI's
+// and use lock-free intra-node structures with tree bridging across nodes.
+// Communicators are created with Comm.Split.
+//
+// Optionally, a rank may wrap a computational hotspot in a Task.  Executing
+// a task hands its chunks to the runtime, which lets any co-resident rank
+// that is blocked waiting on communication steal chunks (the Spin-Steal-Wait
+// loop), automatically overlapping communication and computation.
+//
+// Messaging rules (these mirror the paper's persistent channels):
+//
+//   - Messages on the same (source, destination, tag, communicator) channel
+//     are delivered in send order.
+//   - The eager/rendezvous protocol split is by message size (Config.
+//     SmallMsgMax, default 8 KiB).  Sender and receiver must agree on the
+//     side of the threshold, which in practice means posting receives of the
+//     expected message size.
+//   - After a blocking Send (or a completed Isend) returns, the buffer may
+//     be reused immediately.
+//   - Tags must lie in [0, 1<<29); there are no wildcard sources or tags.
+package pure
+
+import (
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Op is a reduction operator.
+type Op = collective.Op
+
+// Reduction operators, semantically matching their MPI counterparts.
+const (
+	Sum  = collective.OpSum
+	Prod = collective.OpProd
+	Min  = collective.OpMin
+	Max  = collective.OpMax
+)
+
+// DType identifies an element type for typed reductions.
+type DType = collective.DType
+
+// Element types.
+const (
+	Float64 = collective.Float64
+	Float32 = collective.Float32
+	Int64   = collective.Int64
+	Int32   = collective.Int32
+	Uint8   = collective.Uint8
+)
+
+// ChunkMode selects task chunk allocation granularity.
+type ChunkMode = sched.ChunkMode
+
+// Chunk allocation modes.
+const (
+	SingleChunk          = sched.SingleChunk
+	GuidedSelfScheduling = sched.GuidedSelfScheduling
+)
+
+// StealPolicy selects how blocked ranks pick steal victims.
+type StealPolicy = sched.StealPolicy
+
+// Steal policies.
+const (
+	RandomSteal    = sched.RandomSteal
+	NUMAAwareSteal = sched.NUMAAwareSteal
+	StickySteal    = sched.StickySteal
+)
+
+// Spec describes the virtual cluster to run on; see topology.Spec.
+type Spec = topology.Spec
+
+// Policy selects how ranks are laid out over hardware threads.
+type Policy = topology.Policy
+
+// Placement policies.
+const (
+	SMPPlacement        = topology.SMP
+	RoundRobinPlacement = topology.RoundRobin
+	CustomPlacement     = topology.Custom
+)
+
+// Seat pins one rank to a hardware thread (used with CustomPlacement).
+type Seat = topology.HWThread
+
+// CoriNode returns a Cori-like node spec (2 sockets x 16 cores x 2 HT).
+func CoriNode(nodes int) Spec { return topology.CoriSpec(nodes) }
+
+// NetConfig is the inter-node network cost model; see netsim.Config.
+type NetConfig = netsim.Config
+
+// AriesNet returns the Cray-Aries-like model used for multi-node runs.
+func AriesNet() NetConfig { return netsim.Aries() }
+
+// Config configures Run.  The zero value plus NRanks runs all ranks on one
+// virtual node with default thresholds.
+type Config struct {
+	// NRanks is the number of ranks (fixed for the program's lifetime).
+	NRanks int
+	// Spec is the virtual cluster; zero means one node sized to NRanks.
+	Spec Spec
+	// RanksPerNode caps ranks placed per node (0 = node capacity).
+	RanksPerNode int
+	// Policy selects the rank-to-hardware mapping (SMP block placement by
+	// default); Seats supplies an explicit per-rank mapping for
+	// Policy == topology.Custom (e.g. built from a CrayPAT reorder file via
+	// topology.PlacementFromReorder).
+	Policy Policy
+	Seats  []Seat
+	// Net is the inter-node cost model (zero = free loopback).
+	Net NetConfig
+	// SmallMsgMax is the eager/rendezvous threshold in bytes (default 8 KiB).
+	SmallMsgMax int
+	// PBQSlots is the small-message queue depth per channel (default 16).
+	PBQSlots int
+	// SPTDMax is the small/large collective threshold in bytes (default 2 KiB).
+	SPTDMax int
+	// SpinBudget is the SSW-Loop probe count between yields (default 64).
+	SpinBudget int
+	// HelpersPerNode starts helper threads that only steal task chunks.
+	HelpersPerNode int
+	// ChunkMode, StealPolicy and OwnerSteals tune the task scheduler.
+	ChunkMode   ChunkMode
+	StealPolicy StealPolicy
+	OwnerSteals bool
+}
+
+// Run launches a Pure program: main runs once per rank, concurrently.
+// It returns after every rank's main has returned, or an error if the
+// configuration is invalid or a rank panicked.
+func Run(cfg Config, main func(r *Rank)) error {
+	return core.Run(coreConfig(cfg), func(r *core.Rank) {
+		main(&Rank{r: r, world: &Comm{c: r.World()}})
+	})
+}
+
+// coreConfig maps the public configuration onto the runtime's.
+func coreConfig(cfg Config) core.Config {
+	return core.Config{
+		NRanks:         cfg.NRanks,
+		Spec:           cfg.Spec,
+		RanksPerNode:   cfg.RanksPerNode,
+		Policy:         cfg.Policy,
+		Seats:          cfg.Seats,
+		Net:            cfg.Net,
+		SmallMsgMax:    cfg.SmallMsgMax,
+		PBQSlots:       cfg.PBQSlots,
+		SPTDMax:        cfg.SPTDMax,
+		SpinBudget:     cfg.SpinBudget,
+		HelpersPerNode: cfg.HelpersPerNode,
+		ChunkMode:      cfg.ChunkMode,
+		StealPolicy:    cfg.StealPolicy,
+		OwnerSteals:    cfg.OwnerSteals,
+	}
+}
+
+// Rank is one rank's handle on the runtime.  Handles are not shareable
+// between goroutines.
+type Rank struct {
+	r     *core.Rank
+	world *Comm
+}
+
+// ID returns the rank's id in [0, NRanks).
+func (r *Rank) ID() int { return r.r.ID() }
+
+// NRanks returns the program's rank count.
+func (r *Rank) NRanks() int { return r.r.NRanks() }
+
+// Node returns the virtual node index hosting this rank.
+func (r *Rank) Node() int { return r.r.Node() }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.world }
+
+// StealStats reports the rank's lifetime (steal attempts, chunks stolen).
+func (r *Rank) StealStats() (attempts, stolen int64) { return r.r.StealStats() }
+
+// NewTask defines a Pure Task split into nchunks chunks.  body receives a
+// half-open chunk range [start, end) that it must process exactly once per
+// execution, plus the per-execute argument; it must be thread-safe across
+// disjoint ranges.  Pass nchunks = 0 for the default (64).
+func (r *Rank) NewTask(nchunks int, body func(start, end int64, extra any)) *Task {
+	return &Task{t: r.r.NewTask(nchunks, body)}
+}
+
+// Task is a Pure Task; see Rank.NewTask.
+type Task struct {
+	t *core.Task
+}
+
+// Execute runs every chunk of the task, possibly assisted by thieving ranks,
+// and returns only when all chunks completed.  extra is forwarded to each
+// body invocation.
+func (t *Task) Execute(extra any) TaskStats {
+	s := t.t.Execute(extra)
+	return TaskStats{OwnerChunks: s.OwnerChunks, StolenChunks: s.StolenChunks}
+}
+
+// Chunks returns the task's chunk count.
+func (t *Task) Chunks() int64 { return t.t.Chunks() }
+
+// AlignedIdxRange maps the chunk range to a cacheline-aligned index range
+// over n elements of elemSize bytes (use inside task bodies to avoid false
+// sharing; the paper's pure_aligned_idx_range).
+func (t *Task) AlignedIdxRange(n int64, elemSize int, startChunk, endChunk int64) (lo, hi int64) {
+	return t.t.AlignedIdxRange(n, elemSize, startChunk, endChunk)
+}
+
+// TaskStats reports how one Execute's chunks were distributed.
+type TaskStats struct {
+	OwnerChunks  int64
+	StolenChunks int64
+}
+
+// Request is an in-flight nonblocking operation.
+type Request = core.Request
+
+// RankStats is one rank's operation counters; see RunWithReport.
+type RankStats = core.RankStats
+
+// Report is the profiling output of RunWithReport: per-rank counters plus
+// their sum (the runtime analogue of the paper's profiling modes).
+type Report struct {
+	PerRank []RankStats
+	Total   RankStats
+}
+
+// RunWithReport is Run plus counter harvesting: message/byte counts per
+// protocol path, collective calls, task chunk distribution, and SSW-Loop
+// steal statistics for every rank.
+func RunWithReport(cfg Config, main func(r *Rank)) (Report, error) {
+	stats, err := core.RunWithStats(coreConfig(cfg), func(r *core.Rank) {
+		main(&Rank{r: r, world: &Comm{c: r.World()}})
+	})
+	rep := Report{PerRank: stats}
+	for _, s := range stats {
+		rep.Total.Add(s)
+	}
+	return rep, err
+}
