@@ -1,0 +1,20 @@
+# Convenience entry points; everything is plain `go` underneath.
+
+.PHONY: build test race verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/queue ./internal/collective ./internal/obs
+
+# The full gate: build + vet + tests + race detector on the lock-free
+# packages.  Same script CI runs.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	go test -run XXX -bench . -benchtime=1s ./internal/core

@@ -6,26 +6,44 @@
 //	purebench -quick          # trimmed scales (seconds instead of minutes)
 //	purebench -exp fig4,fig7a # specific experiments
 //	purebench -csv out/       # also write one CSV per experiment
+//	purebench -trace t.json   # run a traced stencil, write a Chrome trace
+//	purebench -metrics m.prom # ... and/or a Prometheus metrics snapshot
 //
 // Experiment ids: sec2 fig4 fig5a fig5b fig5c fig5d fig6 fig6real fig7a
 // fig7b fig7breal fig7c appA appC ablation-pbq.
+//
+// -trace and -metrics run the §2 stencil workload under the runtime
+// observability layer instead of the experiment tables: the Chrome trace
+// loads in chrome://tracing or https://ui.perfetto.dev, the metrics file is
+// Prometheus text format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"repro/comm"
+	"repro/internal/apps/stencil"
 	"repro/internal/bench"
+	"repro/pure"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run trimmed scales")
 	exps := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	traceOut := flag.String("trace", "", "run a traced stencil and write a Chrome trace to this file")
+	metricsOut := flag.String("metrics", "", "run a traced stencil and write a Prometheus metrics snapshot to this file")
 	flag.Parse()
+
+	if *traceOut != "" || *metricsOut != "" {
+		observedRun(*traceOut, *metricsOut)
+		return
+	}
 
 	var tables []bench.Table
 	if *exps == "all" {
@@ -60,5 +78,49 @@ func main() {
 			}
 			f.Close()
 		}
+	}
+}
+
+// observedRun executes the §2 stencil under Config.Trace/Config.Metrics and
+// writes the requested export files.
+func observedRun(traceOut, metricsOut string) {
+	const nranks = 8
+	cfg := pure.Config{NRanks: nranks}
+	if traceOut != "" {
+		cfg.Trace = pure.NewTrace(nranks, 0)
+	}
+	if metricsOut != "" {
+		cfg.Metrics = pure.NewMetrics()
+	}
+	rep, err := comm.RunPureWithReport(cfg, func(b comm.Backend) {
+		if _, err := stencil.Run(b, stencil.Params{ArrSize: 512, Iters: 20, WorkScale: 24, UseTask: true}); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("purebench: wrote %d trace events (%d dropped) to %s\n",
+			rep.Trace.Len(), rep.Trace.Dropped(), traceOut)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Metrics.Snapshot().WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("purebench: wrote metrics snapshot to %s\n", metricsOut)
 	}
 }

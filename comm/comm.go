@@ -14,9 +14,7 @@
 package comm
 
 import (
-	"encoding/binary"
-	"math"
-
+	"repro/internal/codec"
 	"repro/internal/collective"
 	"repro/mpibase"
 	"repro/pure"
@@ -67,7 +65,16 @@ type Backend interface {
 	Waitall(reqs []Request)
 	Barrier()
 	Allreduce(in, out []byte, op Op, dt DType)
+	// Reduce folds every rank's in buffer; the result lands in root's out
+	// buffer (other ranks may pass nil).
+	Reduce(in, out []byte, root int, op Op, dt DType)
 	Bcast(buf []byte, root int)
+	// Gather collects every rank's equal-sized in payload into root's out
+	// buffer (Size()*len(in) bytes at the root; others may pass nil).
+	Gather(in, out []byte, root int)
+	// Scatter distributes contiguous len(out)-byte slices of root's in buffer
+	// (Size()*len(out) bytes at the root; others may pass nil).
+	Scatter(in, out []byte, root int)
 	// Split partitions the communicator; negative color opts out (nil).
 	Split(color, key int) Backend
 	// NewTask defines a chunk-parallel region with nchunks chunks.
@@ -80,51 +87,38 @@ type Backend interface {
 
 // AllreduceFloat64 folds one float64 across the communicator.
 func AllreduceFloat64(b Backend, v float64, op Op) float64 {
-	in := make([]byte, 8)
-	binary.LittleEndian.PutUint64(in, math.Float64bits(v))
-	out := make([]byte, 8)
-	b.Allreduce(in, out, op, Float64)
-	return math.Float64frombits(binary.LittleEndian.Uint64(out))
+	out := make([]float64, 1)
+	AllreduceFloat64s(b, []float64{v}, out, op)
+	return out[0]
 }
 
 // AllreduceInt64 folds one int64 across the communicator.
 func AllreduceInt64(b Backend, v int64, op Op) int64 {
-	in := make([]byte, 8)
-	binary.LittleEndian.PutUint64(in, uint64(v))
-	out := make([]byte, 8)
-	b.Allreduce(in, out, op, Int64)
-	return int64(binary.LittleEndian.Uint64(out))
+	ob := make([]byte, 8)
+	b.Allreduce(codec.Int64Bytes([]int64{v}), ob, op, Int64)
+	out := make([]int64, 1)
+	codec.GetInt64s(out, ob)
+	return out[0]
 }
 
 // AllreduceFloat64s element-wise folds a vector across the communicator.
 func AllreduceFloat64s(b Backend, in, out []float64, op Op) {
-	ib := make([]byte, 8*len(in))
-	for i, v := range in {
-		binary.LittleEndian.PutUint64(ib[i*8:], math.Float64bits(v))
-	}
+	ib := codec.Float64Bytes(in)
 	ob := make([]byte, len(ib))
 	b.Allreduce(ib, ob, op, Float64)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(ob[i*8:]))
-	}
+	codec.GetFloat64s(out, ob)
 }
 
 // SendFloat64s / RecvFloat64s move float64 vectors point-to-point.
 func SendFloat64s(b Backend, vals []float64, dst, tag int) {
-	buf := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-	}
-	b.Send(buf, dst, tag)
+	b.Send(codec.Float64Bytes(vals), dst, tag)
 }
 
 // RecvFloat64s receives exactly len(vals) float64s.
 func RecvFloat64s(b Backend, vals []float64, src, tag int) {
 	buf := make([]byte, 8*len(vals))
 	n := b.Recv(buf, src, tag)
-	for i := 0; i < n/8; i++ {
-		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
-	}
+	codec.GetFloat64s(vals[:n/8], buf[:n])
 }
 
 // ---- Pure adapter ----
@@ -137,6 +131,15 @@ type pureBackend struct {
 // RunPure runs main over the Pure runtime.
 func RunPure(cfg pure.Config, main func(b Backend)) error {
 	return pure.Run(cfg, func(r *pure.Rank) {
+		main(&pureBackend{r: r, c: r.World()})
+	})
+}
+
+// RunPureWithReport is RunPure plus the profiling report; when cfg.Trace or
+// cfg.Metrics are set, the report also carries the observability exports
+// (Report.Timeline, Report.WriteChromeTrace, Report.Metrics.Snapshot).
+func RunPureWithReport(cfg pure.Config, main func(b Backend)) (pure.Report, error) {
+	return pure.RunWithReport(cfg, func(r *pure.Rank) {
 		main(&pureBackend{r: r, c: r.World()})
 	})
 }
@@ -162,7 +165,12 @@ func (b *pureBackend) Barrier() { b.c.Barrier() }
 func (b *pureBackend) Allreduce(in, out []byte, op Op, dt DType) {
 	b.c.Allreduce(in, out, op, dt)
 }
-func (b *pureBackend) Bcast(buf []byte, root int) { b.c.Bcast(buf, root) }
+func (b *pureBackend) Reduce(in, out []byte, root int, op Op, dt DType) {
+	b.c.Reduce(in, out, root, op, dt)
+}
+func (b *pureBackend) Bcast(buf []byte, root int)       { b.c.Bcast(buf, root) }
+func (b *pureBackend) Gather(in, out []byte, root int)  { b.c.Gather(in, out, root) }
+func (b *pureBackend) Scatter(in, out []byte, root int) { b.c.Scatter(in, out, root) }
 func (b *pureBackend) Split(color, key int) Backend {
 	sub := b.c.Split(color, key)
 	if sub == nil {
@@ -217,7 +225,12 @@ func (b *mpiBackend) Barrier() { b.c.Barrier() }
 func (b *mpiBackend) Allreduce(in, out []byte, op Op, dt DType) {
 	b.c.Allreduce(in, out, op, dt)
 }
-func (b *mpiBackend) Bcast(buf []byte, root int) { b.c.Bcast(buf, root) }
+func (b *mpiBackend) Reduce(in, out []byte, root int, op Op, dt DType) {
+	b.c.Reduce(in, out, root, op, dt)
+}
+func (b *mpiBackend) Bcast(buf []byte, root int)       { b.c.Bcast(buf, root) }
+func (b *mpiBackend) Gather(in, out []byte, root int)  { b.c.Gather(in, out, root) }
+func (b *mpiBackend) Scatter(in, out []byte, root int) { b.c.Scatter(in, out, root) }
 func (b *mpiBackend) Split(color, key int) Backend {
 	sub := b.c.Split(color, key)
 	if sub == nil {

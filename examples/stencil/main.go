@@ -4,11 +4,18 @@
 // rand_work task while they wait for messages.
 //
 //	go run ./examples/stencil
+//	go run ./examples/stencil -trace trace.json -metrics metrics.prom
+//
+// -trace writes the tasked run's event timeline in the Chrome trace_event
+// format (load it in chrome://tracing or https://ui.perfetto.dev); -metrics
+// writes a Prometheus text-format snapshot of the runtime counters.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/comm"
@@ -17,15 +24,26 @@ import (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace of the tasked run to this file")
+	metricsOut := flag.String("metrics", "", "write a Prometheus metrics snapshot of the tasked run to this file")
+	flag.Parse()
+
 	const nranks = 8
 	params := stencil.Params{ArrSize: 512, Iters: 20, WorkScale: 24}
 
-	run := func(useTask bool) (time.Duration, float64) {
+	run := func(useTask, observed bool) (time.Duration, float64) {
 		p := params
 		p.UseTask = useTask
+		cfg := pure.Config{NRanks: nranks}
+		if observed && *traceOut != "" {
+			cfg.Trace = pure.NewTrace(nranks, 0)
+		}
+		if observed && *metricsOut != "" {
+			cfg.Metrics = pure.NewMetrics()
+		}
 		var checksum float64
 		start := time.Now()
-		err := comm.RunPure(pure.Config{NRanks: nranks}, func(b comm.Backend) {
+		rep, err := comm.RunPureWithReport(cfg, func(b comm.Backend) {
 			res, err := stencil.Run(b, p)
 			if err != nil {
 				log.Fatal(err)
@@ -37,11 +55,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		return time.Since(start), checksum
+		elapsed := time.Since(start)
+		if observed {
+			writeObservability(&rep, *traceOut, *metricsOut)
+		}
+		return elapsed, checksum
 	}
 
-	plain, sum1 := run(false)
-	tasked, sum2 := run(true)
+	plain, sum1 := run(false, false)
+	tasked, sum2 := run(true, true)
 	fmt.Printf("rand-stencil over %d Pure ranks, %d iters\n", nranks, params.Iters)
 	fmt.Printf("  without tasks: %v (checksum %.6f)\n", plain, sum1)
 	fmt.Printf("  with tasks:    %v (checksum %.6f)\n", tasked, sum2)
@@ -49,4 +71,32 @@ func main() {
 		log.Fatalf("checksums diverged: %v vs %v", sum1, sum2)
 	}
 	fmt.Println("checksums match: task execution is semantics-preserving")
+}
+
+// writeObservability exports the tasked run's trace and metrics to the files
+// requested on the command line.
+func writeObservability(rep *pure.Report, traceOut, metricsOut string) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace events (%d dropped) to %s\n",
+			rep.Trace.Len(), rep.Trace.Dropped(), traceOut)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Metrics.Snapshot().WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote metrics snapshot to %s\n", metricsOut)
+	}
 }

@@ -1,0 +1,54 @@
+// Package codec is the repository's single implementation of the on-wire
+// payload layout: numeric slices marshalled as little-endian fixed-width
+// elements.  The transports move raw bytes; pure, mpibase and comm all
+// funnel their typed convenience helpers through here so the two runtimes
+// cannot drift apart (bit-identical payloads are what make the cross-runtime
+// comparison tests meaningful).
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Float64Bytes encodes vals into a fresh little-endian payload.
+func Float64Bytes(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	PutFloat64s(b, vals)
+	return b
+}
+
+// PutFloat64s encodes vals into b, which must hold 8*len(vals) bytes.
+func PutFloat64s(b []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+}
+
+// GetFloat64s decodes len(vals) float64s from b into vals.
+func GetFloat64s(vals []float64, b []byte) {
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// Int64Bytes encodes vals into a fresh little-endian payload.
+func Int64Bytes(vals []int64) []byte {
+	b := make([]byte, 8*len(vals))
+	PutInt64s(b, vals)
+	return b
+}
+
+// PutInt64s encodes vals into b, which must hold 8*len(vals) bytes.
+func PutInt64s(b []byte, vals []int64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+}
+
+// GetInt64s decodes len(vals) int64s from b into vals.
+func GetInt64s(vals []int64, b []byte) {
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}

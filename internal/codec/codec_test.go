@@ -1,0 +1,56 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64RoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		b := Float64Bytes(vals)
+		out := make([]float64, len(vals))
+		GetFloat64s(out, b)
+		for i := range vals {
+			same := out[i] == vals[i] || (math.IsNaN(out[i]) && math.IsNaN(vals[i]))
+			if !same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := Int64Bytes(vals)
+		out := make([]int64, len(vals))
+		GetInt64s(out, b)
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutIsLittleEndian(t *testing.T) {
+	// The wire layout is a contract (cross-runtime tests compare payloads
+	// byte for byte), so pin it explicitly.
+	got := Int64Bytes([]int64{0x0102030405060708})
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(got, want) {
+		t.Errorf("int64 layout = %x, want %x", got, want)
+	}
+	if g := Float64Bytes([]float64{1.0}); g[7] != 0x3f || g[6] != 0xf0 {
+		t.Errorf("float64 layout = %x", g)
+	}
+}

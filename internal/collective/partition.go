@@ -151,6 +151,10 @@ func (p *PartitionedReducer) nextRound(tid int) uint64 {
 	return p.rounds[tid].v
 }
 
+// Round returns how many Allreduce rounds thread tid has completed on this
+// structure (exact for tid itself, a snapshot for other readers).
+func (p *PartitionedReducer) Round(tid int) uint64 { return p.rounds[tid].v }
+
 // CounterBarrier is the shared-atomic-counter barrier the paper tried first
 // and abandoned ("the pairwise synchronization offered by [SPTD] vastly
 // outperformed a shared atomic counter approach").  It is retained for the

@@ -72,6 +72,12 @@ func NewSPTD(nthreads, maxPayload int) *SPTD {
 // NThreads returns the number of participating threads.
 func (s *SPTD) NThreads() int { return s.nthreads }
 
+// Round returns how many collective rounds thread tid has completed on this
+// structure.  Each thread owns its counter, so the value is exact when read
+// by tid itself and a snapshot otherwise; the observability layer records it
+// with SPTD-path collective trace events.
+func (s *SPTD) Round(tid int) uint64 { return s.rounds[tid].v }
+
 // nextRound advances and returns tid's round number (1-based).
 func (s *SPTD) nextRound(tid int) uint64 {
 	s.rounds[tid].v++

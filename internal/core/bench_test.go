@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/collective"
+	"repro/internal/obs"
 )
 
 // Real-runtime microbenchmarks of the core messaging and collective paths
@@ -27,6 +28,44 @@ func BenchmarkPurePingPong(b *testing.B) {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
 			benchProcs(b)
 			err := Run(Config{NRanks: 2}, func(r *Rank) {
+				c := r.World()
+				buf := make([]byte, size)
+				c.Barrier()
+				if r.ID() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.Send(buf, 1, 0)
+						c.Recv(buf, 1, 1)
+					}
+					b.StopTimer()
+					b.SetBytes(int64(2 * size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						c.Recv(buf, 0, 0)
+						c.Send(buf, 0, 1)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkPurePingPongObserved is the same exchange with the observability
+// layer switched on (event tracing + metrics); the delta against
+// BenchmarkPurePingPong is the enabled-mode recording cost per round trip.
+func BenchmarkPurePingPongObserved(b *testing.B) {
+	for _, size := range []int{8, 1 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			cfg := Config{
+				NRanks:  2,
+				Trace:   obs.NewTrace(2, 1<<16),
+				Metrics: obs.NewMetrics(),
+			}
+			err := Run(cfg, func(r *Rank) {
 				c := r.World()
 				buf := make([]byte, size)
 				c.Barrier()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/collective"
+	"repro/internal/obs"
 )
 
 // collTag is the reserved tag space for runtime-internal leader-to-leader
@@ -166,10 +167,29 @@ func (c *Comm) Send(buf []byte, dst, tag int) {
 			r.stats.SendsEager++
 			r.stats.BytesSent += int64(len(buf))
 			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
+			if r.trace != nil {
+				r.trace.Emit(obs.KSendEager, int32(g), int64(len(buf)))
+			}
+			if r.met != nil {
+				r.met.countSend(reqSendEager, len(buf))
+				r.met.samplePBQ(q)
+			}
 			if q.TryEnqueue(buf) {
 				return
 			}
+			// Backpressure: the PureBufferQueue is full, so this send stalls in
+			// the SSW-Loop until the receiver drains a slot.
+			var t0 int64
+			if r.trace != nil {
+				t0 = r.trace.Now()
+			}
+			if r.met != nil {
+				r.met.pbqStallWaits.Inc()
+			}
 			r.wait.Wait(func() bool { return q.TryEnqueue(buf) })
+			if r.trace != nil {
+				r.trace.EmitSpan(obs.KPBQStall, int32(g), int64(len(buf)), t0)
+			}
 			return
 		}
 	}
@@ -192,6 +212,7 @@ func (c *Comm) Recv(buf []byte, src, tag int) int {
 			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
 			if n, ok := q.TryDequeue(buf); ok {
 				r.stats.BytesReceived += int64(n)
+				r.noteEagerRecv(int32(g), n)
 				return n
 			}
 			var n int
@@ -201,6 +222,7 @@ func (c *Comm) Recv(buf []byte, src, tag int) int {
 				return ok
 			})
 			r.stats.BytesReceived += int64(n)
+			r.noteEagerRecv(int32(g), n)
 			return n
 		}
 	}
@@ -238,6 +260,7 @@ func (c *Comm) multiNode() bool { return len(c.sh.nodeList) > 1 }
 // Barrier blocks until every comm member has entered it.
 func (c *Comm) Barrier() {
 	c.r.stats.Barriers++
+	t0 := c.r.traceStart()
 	sh := c.sh
 	ni := sh.nodeIdxOfRank[c.myRank]
 	tid := sh.localIdxOf[c.myRank]
@@ -246,6 +269,7 @@ func (c *Comm) Barrier() {
 		bridge = func() { c.leaderDissemination(ni) }
 	}
 	sh.nodes[ni].sptd.BarrierBridged(tid, bridge, c.r.wait.Wait)
+	c.r.finishColl(obs.KBarrier, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 }
 
 // Allreduce folds every member's in buffer element-wise with op over dt and
@@ -265,10 +289,13 @@ func (c *Comm) Allreduce(in, out []byte, op collective.Op, dt collective.DType) 
 		}
 	}
 	node := sh.nodes[ni]
+	t0 := c.r.traceStart()
 	if len(in) <= c.r.rt.cfg.SPTDMax {
 		node.sptd.Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+		c.r.finishColl(obs.KAllreduce, t0, int64(node.sptd.Round(tid)))
 	} else {
 		node.pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+		c.r.finishColl(obs.KAllreduce, t0, 0)
 	}
 }
 
@@ -292,14 +319,17 @@ func (c *Comm) Reduce(in, out []byte, root int, op collective.Op, dt collective.
 	if c.multiNode() {
 		bridge = func(acc []byte) { c.leaderReduce(ni, rootNi, acc, op, dt) }
 	}
+	t0 := c.r.traceStart()
 	if len(in) <= c.r.rt.cfg.SPTDMax {
 		// On non-root nodes the local leader receives the node reduction and
 		// forwards it to the cross-node tree inside bridge.
 		sh.nodes[ni].sptd.Reduce(tid, localRoot, in, out, op, dt, bridge, c.r.wait.Wait)
+		c.r.finishColl(obs.KReduce, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 		return
 	}
 	// Large payloads: partitioned all-reduce locally, leader forwards.
 	sh.nodes[ni].pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+	c.r.finishColl(obs.KReduce, t0, 0)
 }
 
 // Bcast distributes root's buf to every member's buf.
@@ -310,6 +340,7 @@ func (c *Comm) Bcast(buf []byte, root int) {
 	ni := sh.nodeIdxOfRank[c.myRank]
 	tid := sh.localIdxOf[c.myRank]
 	rootNi := sh.nodeIdxOfRank[root]
+	t0 := c.r.traceStart()
 
 	if len(buf) <= c.r.rt.cfg.SPTDMax {
 		rootGlobal := sh.members[root]
@@ -321,6 +352,7 @@ func (c *Comm) Bcast(buf []byte, root int) {
 				bridge = func(b []byte) { c.leaderBcast(ni, rootNi, rootGlobal, b) }
 			}
 			sh.nodes[ni].sptd.Broadcast(tid, localRoot, buf, bridge, c.r.wait.Wait)
+			c.r.finishColl(obs.KBcast, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 			return
 		}
 		// Non-root node: the leader takes part in the cross-node tree first,
@@ -330,11 +362,13 @@ func (c *Comm) Bcast(buf []byte, root int) {
 			bridge = func(b []byte) { c.leaderBcast(ni, rootNi, rootGlobal, b) }
 		}
 		sh.nodes[ni].sptd.Broadcast(tid, 0, buf, bridge, c.r.wait.Wait)
+		c.r.finishColl(obs.KBcast, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 		return
 	}
 
 	// Large payloads: binomial tree over all comm ranks via rendezvous p2p.
 	c.treeBcast(buf, root)
+	c.r.finishColl(obs.KBcast, t0, 0)
 }
 
 // treeBcast is a locality-oblivious binomial broadcast over comm ranks,

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/queue"
+)
+
+// metricSet pre-resolves the runtime's metric handles once at launch so the
+// instrumented hot paths never touch the registry's map or lock.  All fields
+// are shared across ranks (obs counters are padded atomics); when metrics
+// are disabled every instrumentation site reduces to one nil check.
+type metricSet struct {
+	reg *obs.Metrics
+
+	// Point-to-point posts and bytes, by protocol path.
+	sendsEager, sendsRvz, sendsRemote *obs.Counter
+	recvsEager, recvsRvz, recvsRemote *obs.Counter
+	bytesEager, bytesRvz, bytesRemote *obs.Counter
+	bytesReceived                     *obs.Counter
+
+	// PureBufferQueue backpressure: blocking sends that found the queue full
+	// (live), queue-level failed enqueue attempts (harvested at run end), and
+	// the high-water mark of sampled queue depth.
+	pbqStallWaits  *obs.Counter
+	pbqEnqueueFull *obs.Counter
+	pbqDepthMax    *obs.Gauge
+
+	// Rendezvous single-copy handoffs completed by senders.
+	rvzHandoffs *obs.Counter
+
+	// Collective calls entered (counted once per rank per call).
+	barriers, reduces, allreduces, bcasts *obs.Counter
+
+	// SSW-Loop stealing: per-steal chunk execution latency (live) and the
+	// attempt/success totals (harvested from the per-rank thieves at run end).
+	stealLatency  *obs.Histogram
+	stealAttempts *obs.Counter
+	steals        *obs.Counter
+
+	// Pure Task executions and the chunks thieves took from them.
+	tasks        *obs.Counter
+	chunksStolen *obs.Counter
+}
+
+func newMetricSet(reg *obs.Metrics) *metricSet {
+	return &metricSet{
+		reg:            reg,
+		sendsEager:     reg.Counter("pure_sends_eager_total"),
+		sendsRvz:       reg.Counter("pure_sends_rendezvous_total"),
+		sendsRemote:    reg.Counter("pure_sends_remote_total"),
+		recvsEager:     reg.Counter("pure_recvs_eager_total"),
+		recvsRvz:       reg.Counter("pure_recvs_rendezvous_total"),
+		recvsRemote:    reg.Counter("pure_recvs_remote_total"),
+		bytesEager:     reg.Counter("pure_bytes_sent_eager_total"),
+		bytesRvz:       reg.Counter("pure_bytes_sent_rendezvous_total"),
+		bytesRemote:    reg.Counter("pure_bytes_sent_remote_total"),
+		bytesReceived:  reg.Counter("pure_bytes_received_total"),
+		pbqStallWaits:  reg.Counter("pure_pbq_stall_waits_total"),
+		pbqEnqueueFull: reg.Counter("pure_pbq_enqueue_full_total"),
+		pbqDepthMax:    reg.Gauge("pure_pbq_depth_max"),
+		rvzHandoffs:    reg.Counter("pure_rendezvous_handoffs_total"),
+		barriers:       reg.Counter("pure_barriers_total"),
+		reduces:        reg.Counter("pure_reduces_total"),
+		allreduces:     reg.Counter("pure_allreduces_total"),
+		bcasts:         reg.Counter("pure_bcasts_total"),
+		stealLatency:   reg.Histogram("pure_steal_latency_ns", nil),
+		stealAttempts:  reg.Counter("pure_steal_attempts_total"),
+		steals:         reg.Counter("pure_steals_total"),
+		tasks:          reg.Counter("pure_tasks_executed_total"),
+		chunksStolen:   reg.Counter("pure_chunks_stolen_total"),
+	}
+}
+
+// countSend records one send post on the metrics registry.
+func (m *metricSet) countSend(kind reqKind, n int) {
+	switch kind {
+	case reqSendEager:
+		m.sendsEager.Inc()
+		m.bytesEager.Add(int64(n))
+	case reqSendRvz:
+		m.sendsRvz.Inc()
+		m.bytesRvz.Add(int64(n))
+	case reqRemoteSend:
+		m.sendsRemote.Inc()
+		m.bytesRemote.Add(int64(n))
+	}
+}
+
+// harvestObs folds the counters that are only cheap to read after the ranks
+// have stopped — queue-level enqueue-full totals and the thieves' lifetime
+// attempt/success counts — into the metrics registry.
+func (rt *Runtime) harvestObs(ranks []*Rank) {
+	m := rt.met
+	if m == nil {
+		return
+	}
+	var stalls int64
+	rt.channels.Range(func(_, v any) bool {
+		ch := v.(*channel)
+		if q := ch.pbqOnce.Load(); q != nil {
+			stalls += q.Stalls()
+		}
+		return true
+	})
+	m.pbqEnqueueFull.Add(stalls)
+	for _, r := range ranks {
+		if r == nil {
+			continue
+		}
+		m.stealAttempts.Add(r.thief.Attempts)
+		m.steals.Add(r.thief.Stolen)
+	}
+}
+
+// attachObs hooks a freshly built rank into the runtime's observability
+// layer: its trace ring, the shared metric set, and the steal observer that
+// feeds chunk-steal latencies to both.
+func (r *Rank) attachObs() {
+	rt := r.rt
+	if rt.cfg.Trace != nil {
+		r.trace = rt.cfg.Trace.Rank(r.id)
+	}
+	r.met = rt.met
+	if r.trace == nil && r.met == nil {
+		return
+	}
+	tr, met := r.trace, r.met
+	r.thief.Obs = func(ns int64) {
+		if tr != nil {
+			tr.EmitDur(obs.KStealSuccess, -1, 1, ns)
+		}
+		if met != nil {
+			met.stealLatency.Observe(ns)
+		}
+	}
+}
+
+// samplePBQ records queue depth (and is the single place the depth gauge is
+// fed, so disabled runs never read the queue indices).
+func (m *metricSet) samplePBQ(q *queue.PBQ) {
+	m.pbqDepthMax.Max(int64(q.Len()))
+}
+
+// noteEagerRecv records an eager receive completion on the fast path (Comm.Recv
+// bypasses the request machinery, so progressRecv never sees these).
+func (r *Rank) noteEagerRecv(peer int32, n int) {
+	if r.trace != nil {
+		r.trace.Emit(obs.KRecvEager, peer, int64(n))
+	}
+	if r.met != nil {
+		r.met.recvsEager.Inc()
+		r.met.bytesReceived.Add(int64(n))
+	}
+}
+
+// traceStart returns the trace-relative timestamp for an about-to-start span,
+// or 0 when tracing is off (callers only use it when tracing is on).
+func (r *Rank) traceStart() int64 {
+	if r.trace == nil {
+		return 0
+	}
+	return r.trace.Now()
+}
+
+// finishColl closes out one collective call: a trace span from t0 to now
+// (Arg = the SPTD round number, 0 on the large-payload path) plus the
+// per-collective counter.
+func (r *Rank) finishColl(k obs.Kind, t0, round int64) {
+	if r.trace != nil {
+		r.trace.EmitSpan(k, -1, round, t0)
+	}
+	if m := r.met; m != nil {
+		switch k {
+		case obs.KBarrier:
+			m.barriers.Inc()
+		case obs.KReduce:
+			m.reduces.Inc()
+		case obs.KAllreduce:
+			m.allreduces.Inc()
+		case obs.KBcast:
+			m.bcasts.Inc()
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/queue"
 )
 
@@ -137,6 +138,7 @@ type Request struct {
 	rem    *remoteChannel
 	buf    []byte
 	seq    uint64 // rendezvous ticket (recv side)
+	peer   int32  // global peer rank (for trace events)
 	posted bool   // rendezvous recv: envelope pushed
 	done   bool
 	n      int // bytes transferred (recv side)
@@ -193,7 +195,13 @@ func (r *Rank) isend(commID uint64, buf []byte, dst, tag int) *Request {
 	r.stats.BytesSent += int64(len(buf))
 	if !r.rt.place.SameNode(r.id, dst) {
 		r.stats.SendsRemote++
-		req := &Request{kind: reqRemoteSend, buf: buf}
+		if r.trace != nil {
+			r.trace.Emit(obs.KSendRemote, int32(dst), int64(len(buf)))
+		}
+		if r.met != nil {
+			r.met.countSend(reqRemoteSend, len(buf))
+		}
+		req := &Request{kind: reqRemoteSend, peer: int32(dst), buf: buf}
 		r.remoteSend(key, buf)
 		req.done = true
 		return req
@@ -202,10 +210,19 @@ func (r *Rank) isend(commID uint64, buf []byte, dst, tag int) *Request {
 	var req *Request
 	if len(buf) < r.rt.cfg.SmallMsgMax {
 		r.stats.SendsEager++
-		req = &Request{kind: reqSendEager, ch: ch, buf: buf}
+		if r.trace != nil {
+			r.trace.Emit(obs.KSendEager, int32(dst), int64(len(buf)))
+		}
+		req = &Request{kind: reqSendEager, ch: ch, peer: int32(dst), buf: buf}
 	} else {
 		r.stats.SendsRendezvous++
-		req = &Request{kind: reqSendRvz, ch: ch, buf: buf}
+		if r.trace != nil {
+			r.trace.Emit(obs.KSendRendezvous, int32(dst), int64(len(buf)))
+		}
+		req = &Request{kind: reqSendRvz, ch: ch, peer: int32(dst), buf: buf}
+	}
+	if r.met != nil {
+		r.met.countSend(req.kind, len(buf))
 	}
 	ch.sendPend.push(req)
 	r.progressSend(ch) // opportunistic completion
@@ -224,17 +241,17 @@ func (r *Rank) irecv(commID uint64, buf []byte, src, tag int) *Request {
 	key := chanKey{src: src, dst: r.id, tag: tag, comm: commID}
 	if !r.rt.place.SameNode(r.id, src) {
 		r.stats.RecvsRemote++
-		req := &Request{kind: reqRemoteRecv, rem: r.getRemote(key), buf: buf}
+		req := &Request{kind: reqRemoteRecv, rem: r.getRemote(key), peer: int32(src), buf: buf}
 		return req
 	}
 	ch := r.getChannel(key)
 	var req *Request
 	if len(buf) < r.rt.cfg.SmallMsgMax {
 		r.stats.RecvsEager++
-		req = &Request{kind: reqRecvEager, ch: ch, buf: buf}
+		req = &Request{kind: reqRecvEager, ch: ch, peer: int32(src), buf: buf}
 	} else {
 		r.stats.RecvsRendezvous++
-		req = &Request{kind: reqRecvRvz, ch: ch, buf: buf}
+		req = &Request{kind: reqRecvRvz, ch: ch, peer: int32(src), buf: buf}
 	}
 	ch.recvPend.push(req)
 	r.progressRecv(ch)
@@ -302,6 +319,12 @@ func (r *Rank) progressSend(ch *channel) {
 			for !rz.Completions.TryPush(queue.Completion{Bytes: n, Seq: env.Seq}) {
 				gosched() // completion ring full: receiver must drain; bounded wait
 			}
+			if r.trace != nil {
+				r.trace.Emit(obs.KRendezvousHandoff, req.peer, int64(n))
+			}
+			if r.met != nil {
+				r.met.rvzHandoffs.Inc()
+			}
 		}
 		req.done = true
 		req.n = len(req.buf)
@@ -325,6 +348,13 @@ func (r *Rank) progressRecv(ch *channel) {
 			}
 			req.n = n
 			r.stats.BytesReceived += int64(n)
+			if r.trace != nil {
+				r.trace.Emit(obs.KRecvEager, req.peer, int64(n))
+			}
+			if r.met != nil {
+				r.met.recvsEager.Inc()
+				r.met.bytesReceived.Add(int64(n))
+			}
 		case reqRecvRvz:
 			rz := ch.rvz(r.rt.cfg.RendezvousDepth)
 			if !req.posted {
@@ -343,6 +373,13 @@ func (r *Rank) progressRecv(ch *channel) {
 			rz.Completions.TryPop()
 			req.n = c.Bytes
 			r.stats.BytesReceived += int64(c.Bytes)
+			if r.trace != nil {
+				r.trace.Emit(obs.KRecvRendezvous, req.peer, int64(c.Bytes))
+			}
+			if r.met != nil {
+				r.met.recvsRvz.Inc()
+				r.met.bytesReceived.Add(int64(c.Bytes))
+			}
 		}
 		req.done = true
 		ch.recvPend.pop()
@@ -391,5 +428,12 @@ func (r *Rank) progressRemoteRecv(req *Request) {
 	}
 	req.n = copy(req.buf, msg)
 	r.stats.BytesReceived += int64(req.n)
+	if r.trace != nil {
+		r.trace.Emit(obs.KRecvRemote, req.peer, int64(req.n))
+	}
+	if r.met != nil {
+		r.met.recvsRemote.Inc()
+		r.met.bytesReceived.Add(int64(req.n))
+	}
 	req.done = true
 }

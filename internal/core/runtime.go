@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/ssw"
 	"repro/internal/topology"
@@ -77,26 +78,68 @@ type Config struct {
 	ChunkMode   sched.ChunkMode
 	StealPolicy sched.StealPolicy
 	OwnerSteals bool
+
+	// Trace, when non-nil, receives runtime events (p2p posts per protocol
+	// path, PBQ stalls, rendezvous handoffs, collective spans with SPTD round
+	// numbers, steal latencies, task executions).  It must be sized for
+	// NRanks ranks (obs.NewTrace).  When nil, every instrumentation site
+	// costs a single pointer nil check.
+	Trace *obs.Trace
+	// Metrics, when non-nil, registers live counters/gauges/histograms that
+	// may be snapshotted at any time, including mid-run.
+	Metrics *obs.Metrics
 }
 
+// withDefaults validates the configuration and fills zero values with the
+// documented defaults.  Invalid configurations — non-positive NRanks,
+// negative tuning knobs (zero always means "use the default"), a Seats table
+// that does not match the placement policy, or a Trace sized for a different
+// rank count — yield a descriptive error rather than a panic mid-launch.
 func (c *Config) withDefaults() (Config, error) {
 	cfg := *c
 	if cfg.NRanks <= 0 {
 		return cfg, fmt.Errorf("core: NRanks must be positive, got %d", cfg.NRanks)
 	}
+	for _, knob := range []struct {
+		name string
+		v    int
+	}{
+		{"SmallMsgMax", cfg.SmallMsgMax},
+		{"PBQSlots", cfg.PBQSlots},
+		{"SPTDMax", cfg.SPTDMax},
+		{"RendezvousDepth", cfg.RendezvousDepth},
+		{"SpinBudget", cfg.SpinBudget},
+		{"HelpersPerNode", cfg.HelpersPerNode},
+		{"RanksPerNode", cfg.RanksPerNode},
+	} {
+		if knob.v < 0 {
+			return cfg, fmt.Errorf("core: %s must not be negative (0 selects the default), got %d", knob.name, knob.v)
+		}
+	}
+	if len(cfg.Seats) > 0 {
+		if cfg.Policy != topology.Custom {
+			return cfg, fmt.Errorf("core: Seats requires Policy == Custom placement, got policy %v", cfg.Policy)
+		}
+		if len(cfg.Seats) != cfg.NRanks {
+			return cfg, fmt.Errorf("core: Custom placement needs exactly %d seats (one per rank), got %d", cfg.NRanks, len(cfg.Seats))
+		}
+	}
+	if cfg.Trace != nil && cfg.Trace.NRanks() != cfg.NRanks {
+		return cfg, fmt.Errorf("core: Trace sized for %d ranks but NRanks is %d", cfg.Trace.NRanks(), cfg.NRanks)
+	}
 	if cfg.Spec == (topology.Spec{}) {
 		cfg.Spec = topology.Spec{Nodes: 1, SocketsPerNode: 1, CoresPerSocket: cfg.NRanks, ThreadsPerCore: 1}
 	}
-	if cfg.SmallMsgMax <= 0 {
+	if cfg.SmallMsgMax == 0 {
 		cfg.SmallMsgMax = DefaultSmallMsgMax
 	}
-	if cfg.PBQSlots <= 0 {
+	if cfg.PBQSlots == 0 {
 		cfg.PBQSlots = DefaultPBQSlots
 	}
-	if cfg.SPTDMax <= 0 {
+	if cfg.SPTDMax == 0 {
 		cfg.SPTDMax = DefaultSPTDMax
 	}
-	if cfg.RendezvousDepth <= 0 {
+	if cfg.RendezvousDepth == 0 {
 		cfg.RendezvousDepth = DefaultRendezvousDepth
 	}
 	return cfg, nil
@@ -126,6 +169,10 @@ type Runtime struct {
 	commIDs  atomic.Uint64
 
 	world *commShared
+
+	// met holds the pre-resolved metric handles when cfg.Metrics is set
+	// (nil otherwise — the disabled state every hot path nil-checks).
+	met *metricSet
 }
 
 // Rank is one application rank's runtime handle.  Every runtime call a rank
@@ -144,6 +191,11 @@ type Rank struct {
 	// paper's channels are persistent objects reused for the whole program.
 	chanCache map[chanKey]*channel
 	remCache  map[chanKey]*remoteChannel
+
+	// trace is this rank's single-writer event ring (nil when tracing is
+	// off); met is the runtime's shared metric set (nil when metrics are off).
+	trace *obs.RankTrace
+	met   *metricSet
 }
 
 // ID returns the rank's global id in [0, NRanks).
@@ -187,6 +239,9 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 		return fmt.Errorf("core: placing ranks: %w", err)
 	}
 	rt := &Runtime{cfg: rcfg, place: place, net: netsim.New(rcfg.Net)}
+	if rcfg.Metrics != nil {
+		rt.met = newMetricSet(rcfg.Metrics)
+	}
 	rt.nodes = make([]*nodeState, rcfg.Spec.Nodes)
 	for n := range rt.nodes {
 		nRanks := len(place.RanksOnNode(n))
@@ -262,6 +317,7 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 		}(id)
 	}
 	wg.Wait()
+	rt.harvestObs(ranks)
 	if harvest != nil {
 		harvest(ranks)
 	}
@@ -294,9 +350,18 @@ func (rt *Runtime) newRank(id int) *Rank {
 		remCache:  make(map[chanKey]*remoteChannel),
 	}
 	r.thief = rt.nodes[node].sched.NewThief(local)
+	r.attachObs()
 	r.wait = ssw.Waiter{Steal: r.thief, SpinBudget: rt.cfg.SpinBudget}
 	r.world = &Comm{r: r, sh: rt.world, myRank: id}
 	return r
+}
+
+// Metrics returns the run's metrics registry, or nil when metrics are off.
+func (r *Rank) Metrics() *obs.Metrics {
+	if r.met == nil {
+		return nil
+	}
+	return r.met.reg
 }
 
 func allRanks(n int) []int {

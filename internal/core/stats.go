@@ -7,6 +7,7 @@ package core
 // struct) and harvested after the rank's main returns.
 type RankStats struct {
 	Rank int
+	Node int // node the rank was placed on
 
 	// Point-to-point, by protocol path.
 	SendsEager      int64
@@ -73,6 +74,7 @@ func (s *RankStats) Messages() int64 {
 func (r *Rank) Stats() RankStats {
 	st := r.stats
 	st.Rank = r.id
+	st.Node = r.node
 	st.StealAttempts = r.thief.Attempts
 	st.StealsSucceeded = r.thief.Stolen
 	return st

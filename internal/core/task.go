@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -45,10 +46,18 @@ func (t *Task) Chunks() int64 { return t.nchunks }
 func (t *Task) Execute(extra any) sched.RunStats {
 	r := t.r
 	ns := r.rt.nodes[r.node]
+	t0 := r.traceStart()
 	stats := ns.sched.Run(r.local, t.nchunks, t.body, extra, r.wait.Wait)
 	r.stats.TasksExecuted++
 	r.stats.ChunksOwned += stats.OwnerChunks
 	r.stats.ChunksStolen += stats.StolenChunks
+	if r.trace != nil {
+		r.trace.EmitSpan(obs.KTaskExecute, -1, t.nchunks, t0)
+	}
+	if r.met != nil {
+		r.met.tasks.Inc()
+		r.met.chunksStolen.Add(stats.StolenChunks)
+	}
 	return stats
 }
 

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one TYPE comment per family, histogram buckets
+// cumulative with an explicit +Inf bucket plus _sum and _count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", h.Name, b, cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", h.Name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", h.Name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// ParsePrometheus parses text previously produced by WritePrometheus back
+// into a Snapshot (cumulative buckets are de-accumulated).  It understands
+// exactly the subset of the exposition format this package emits; it exists
+// so exports can be round-trip tested and snapshots diffed.
+func ParsePrometheus(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	types := map[string]string{}
+	hists := map[string]*HistogramSample{}
+	var order []string // histogram first-seen order
+
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return s, fmt.Errorf("obs: unparseable sample line %q", line)
+		}
+		name, valStr := f[0], f[1]
+		val, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("obs: bad value in %q: %v", line, err)
+		}
+		// Histogram series: name_bucket{le="..."} / name_sum / name_count.
+		if i := strings.Index(name, "_bucket{le=\""); i >= 0 && strings.HasSuffix(name, "\"}") {
+			base := name[:i]
+			le := name[i+len("_bucket{le=\"") : len(name)-2]
+			h := histFor(hists, &order, base)
+			if le == "+Inf" {
+				h.Counts = append(h.Counts, val)
+			} else {
+				bound, err := strconv.ParseInt(le, 10, 64)
+				if err != nil {
+					return s, fmt.Errorf("obs: bad bucket bound in %q: %v", line, err)
+				}
+				h.Bounds = append(h.Bounds, bound)
+				h.Counts = append(h.Counts, val)
+			}
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, "_sum"); ok && types[base] == "histogram" {
+			histFor(hists, &order, base).Sum = val
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok && types[base] == "histogram" {
+			histFor(hists, &order, base).Count = val
+			continue
+		}
+		switch types[name] {
+		case "counter":
+			s.Counters = append(s.Counters, CounterSample{Name: name, Value: val})
+		case "gauge":
+			s.Gauges = append(s.Gauges, GaugeSample{Name: name, Value: val})
+		default:
+			return s, fmt.Errorf("obs: sample %q has no preceding TYPE line", name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	for _, name := range order {
+		h := hists[name]
+		// De-accumulate the cumulative bucket counts.
+		for i := len(h.Counts) - 1; i > 0; i-- {
+			h.Counts[i] -= h.Counts[i-1]
+		}
+		s.Histograms = append(s.Histograms, *h)
+	}
+	sort.Slice(s.Histograms, func(a, b int) bool { return s.Histograms[a].Name < s.Histograms[b].Name })
+	return s, nil
+}
+
+func histFor(hists map[string]*HistogramSample, order *[]string, name string) *HistogramSample {
+	h, ok := hists[name]
+	if !ok {
+		h = &HistogramSample{Name: name}
+		hists[name] = h
+		*order = append(*order, name)
+	}
+	return h
+}
+
+// chromeEvent is one trace_event record (the subset Perfetto needs).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// WriteChromeTrace writes events in the Chrome trace_event JSON format, one
+// process per node and one thread per rank, so a run opens directly in
+// chrome://tracing or https://ui.perfetto.dev.  nodeOf maps a rank to its
+// node (pid); nil places every rank in node 0.  Spans become complete ("X")
+// events; instant events use phase "i" with thread scope.
+func WriteChromeTrace(w io.Writer, events []Event, nodeOf func(rank int32) int) error {
+	if nodeOf == nil {
+		nodeOf = func(int32) int { return 0 }
+	}
+	type payload struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	p := payload{DisplayTimeUnit: "ns", TraceEvents: make([]any, 0, len(events)+8)}
+	seen := map[int32]bool{}
+	for _, e := range events {
+		if !seen[e.Rank] {
+			seen[e.Rank] = true
+			p.TraceEvents = append(p.TraceEvents, chromeMeta{
+				Name: "thread_name", Phase: "M", PID: nodeOf(e.Rank), TID: int(e.Rank),
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", e.Rank)},
+			})
+		}
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.Category(),
+			TS:   float64(e.TS) / 1e3,
+			PID:  nodeOf(e.Rank),
+			TID:  int(e.Rank),
+			Args: map[string]any{"arg": e.Arg},
+		}
+		if e.Peer >= 0 {
+			ce.Args["peer"] = e.Peer
+		}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		p.TraceEvents = append(p.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}

@@ -28,6 +28,8 @@ type PBQ struct {
 	_    pad
 	tail atomic.Uint64 // producer-owned
 	_    pad
+	stalls atomic.Int64 // failed (queue-full) enqueue attempts, for observability
+	_      pad
 }
 
 // NewPBQ builds a PureBufferQueue with at least minSlots slots (rounded up to
@@ -61,6 +63,11 @@ func (q *PBQ) MaxPayload() int { return q.maxPayload }
 // Len returns the number of buffered messages (approximate for observers).
 func (q *PBQ) Len() int { return int(q.tail.Load() - q.head.Load()) }
 
+// Stalls returns how many TryEnqueue calls found the queue full — the
+// backpressure signal the observability layer exports as a metric.  Note a
+// single logical send that spins on a full queue counts one stall per retry.
+func (q *PBQ) Stalls() int64 { return q.stalls.Load() }
+
 // TryEnqueue copies msg into the queue and reports whether a slot was free.
 // It panics if msg exceeds MaxPayload; the runtime routes such messages to
 // the rendezvous path instead.
@@ -70,6 +77,7 @@ func (q *PBQ) TryEnqueue(msg []byte) bool {
 	}
 	t := q.tail.Load()
 	if t-q.head.Load() > q.mask {
+		q.stalls.Add(1)
 		return false // full
 	}
 	slot := int(t&q.mask) * q.slotStride

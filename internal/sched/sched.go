@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Body is the executable of a Pure Task.  The runtime calls it with a
@@ -207,19 +208,29 @@ func (s *Scheduler) ownerThief(slot int) *Thief {
 	return s.ownerThieves[slot]
 }
 
-// steal attempts to steal one allocation from the exec in the victim slot.
-func (s *Scheduler) steal(victim int) (*exec, bool) {
-	e := s.active[victim].Load()
+// stealGrab attempts to allocate one chunk range from the exec in the victim
+// slot without executing it (so the thief can time the execution separately).
+func (s *Scheduler) stealGrab(victim int) (e *exec, start, end int64, ok bool) {
+	e = s.active[victim].Load()
 	if e == nil {
-		return nil, false
+		return nil, 0, 0, false
 	}
-	start, end, ok := e.grab()
-	if !ok {
-		return e, false
+	start, end, ok = e.grab()
+	return e, start, end, ok
+}
+
+// runStolen executes a grabbed allocation on behalf of thief t, timing it
+// only when an observer is attached.
+func (t *Thief) runStolen(e *exec, start, end int64) {
+	if t.Obs != nil {
+		t0 := time.Now()
+		e.body(start, end, e.extra)
+		e.done.Add(end - start)
+		t.Obs(time.Since(t0).Nanoseconds())
+		return
 	}
 	e.body(start, end, e.extra)
 	e.done.Add(end - start)
-	return e, true
 }
 
 // Thief is one rank's (or helper thread's) stealing agent.  It implements
@@ -235,6 +246,12 @@ type Thief struct {
 	// Stats
 	Stolen   int64 // chunks this thief has executed
 	Attempts int64 // TrySteal calls
+
+	// Obs, when non-nil, is invoked after every successful steal with the
+	// nanoseconds spent executing the stolen allocation.  The runtime's
+	// observability layer sets it; the cost (two clock reads per successful
+	// steal, none on failed probes) is paid only when tracing is enabled.
+	Obs func(ns int64)
 }
 
 // NewThief creates the stealing agent for the rank in slot.
@@ -265,7 +282,8 @@ func (t *Thief) TrySteal() bool {
 	// Sticky: revisit the previous victim if its execution is still live.
 	if s.cfg.Policy == StickySteal && t.lastExec != nil {
 		if s.active[t.lastVictim].Load() == t.lastExec {
-			if _, ok := s.steal(t.lastVictim); ok {
+			if e, start, end, ok := s.stealGrab(t.lastVictim); ok {
+				t.runStolen(e, start, end)
 				t.Stolen++
 				return true
 			}
@@ -289,8 +307,9 @@ func (t *Thief) TrySteal() bool {
 	if victim == t.slot {
 		victim = (victim + 1) % n
 	}
-	e, ok := s.steal(victim)
+	e, start, end, ok := s.stealGrab(victim)
 	if ok {
+		t.runStolen(e, start, end)
 		t.Stolen++
 		if s.cfg.Policy == StickySteal {
 			t.lastVictim, t.lastExec = victim, e

@@ -1,11 +1,10 @@
 package mpibase
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/collective"
 )
 
@@ -236,10 +235,10 @@ func (c *Comm) Split(color, key int) *Comm {
 
 // AllreduceFloat64s element-wise sums/folds in into out across all ranks.
 func (c *Comm) AllreduceFloat64s(in, out []float64, op Op) {
-	ib := float64Bytes(in)
+	ib := codec.Float64Bytes(in)
 	ob := make([]byte, len(ib))
 	c.Allreduce(ib, ob, op, Float64)
-	getFloat64s(out, ob)
+	codec.GetFloat64s(out, ob)
 }
 
 // AllreduceFloat64 folds a single float64 across all ranks.
@@ -251,51 +250,34 @@ func (c *Comm) AllreduceFloat64(v float64, op Op) float64 {
 
 // AllreduceInt64 folds a single int64 across all ranks.
 func (c *Comm) AllreduceInt64(v int64, op Op) int64 {
-	ib := make([]byte, 8)
-	binary.LittleEndian.PutUint64(ib, uint64(v))
+	ib := codec.Int64Bytes([]int64{v})
 	ob := make([]byte, 8)
 	c.Allreduce(ib, ob, op, Int64)
-	return int64(binary.LittleEndian.Uint64(ob))
+	out := make([]int64, 1)
+	codec.GetInt64s(out, ob)
+	return out[0]
 }
 
 // SendFloat64s sends a float64 vector.
 func (c *Comm) SendFloat64s(vals []float64, dst, tag int) {
-	c.Send(float64Bytes(vals), dst, tag)
+	c.Send(codec.Float64Bytes(vals), dst, tag)
 }
 
 // RecvFloat64s receives exactly len(vals) float64s.
 func (c *Comm) RecvFloat64s(vals []float64, src, tag int) {
 	b := make([]byte, 8*len(vals))
 	n := c.Recv(b, src, tag)
-	getFloat64s(vals[:n/8], b[:n])
+	codec.GetFloat64s(vals[:n/8], b[:n])
 }
 
 // BcastFloat64s broadcasts root's vals to everyone.
 func (c *Comm) BcastFloat64s(vals []float64, root int) {
 	b := make([]byte, 8*len(vals))
 	if c.Rank() == root {
-		putFloat64s(b, vals)
+		codec.PutFloat64s(b, vals)
 	}
 	c.Bcast(b, root)
-	getFloat64s(vals, b)
-}
-
-func float64Bytes(vals []float64) []byte {
-	b := make([]byte, 8*len(vals))
-	putFloat64s(b, vals)
-	return b
-}
-
-func putFloat64s(b []byte, vals []float64) {
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
-	}
-}
-
-func getFloat64s(vals []float64, b []byte) {
-	for i := range vals {
-		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
-	}
+	codec.GetFloat64s(vals, b)
 }
 
 // ---- Extension collectives (matching package pure's extended surface) ----

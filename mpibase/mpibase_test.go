@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
@@ -178,11 +179,11 @@ func TestReduceAndAllreduce(t *testing.T) {
 		c := p.World()
 		for root := 0; root < n; root += 2 {
 			out := make([]byte, 8)
-			in := float64Bytes([]float64{float64(p.ID() + 1)})
+			in := codec.Float64Bytes([]float64{float64(p.ID() + 1)})
 			c.Reduce(in, out, root, Sum, Float64)
 			if p.ID() == root {
 				got := make([]float64, 1)
-				getFloat64s(got, out)
+				codec.GetFloat64s(got, out)
 				if got[0] != 21 {
 					t.Errorf("root %d: reduce = %v", root, got[0])
 				}

@@ -1,9 +1,7 @@
 package pure
 
 import (
-	"encoding/binary"
-	"math"
-
+	"repro/internal/codec"
 	"repro/internal/core"
 )
 
@@ -67,46 +65,28 @@ func (c *Comm) Split(color, key int) *Comm {
 // ---- Typed convenience wrappers ----
 //
 // The transport layer moves raw bytes; these helpers marshal Go numeric
-// slices through little-endian payloads, the fixed on-wire layout.  They
-// allocate a scratch payload per call; performance-critical inner loops
-// should marshal once and reuse byte buffers via the raw calls.
+// slices through little-endian payloads, the fixed on-wire layout
+// implemented once in internal/codec and re-exported here.  They allocate a
+// scratch payload per call; performance-critical inner loops should marshal
+// once and reuse byte buffers via the raw calls.
 
 // Float64Bytes encodes vals into a fresh payload.
-func Float64Bytes(vals []float64) []byte {
-	b := make([]byte, 8*len(vals))
-	PutFloat64s(b, vals)
-	return b
-}
+func Float64Bytes(vals []float64) []byte { return codec.Float64Bytes(vals) }
 
 // PutFloat64s encodes vals into b, which must hold 8*len(vals) bytes.
-func PutFloat64s(b []byte, vals []float64) {
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
-	}
-}
+func PutFloat64s(b []byte, vals []float64) { codec.PutFloat64s(b, vals) }
 
 // GetFloat64s decodes len(vals) float64s from b into vals.
-func GetFloat64s(vals []float64, b []byte) {
-	for i := range vals {
-		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
-	}
-}
+func GetFloat64s(vals []float64, b []byte) { codec.GetFloat64s(vals, b) }
 
 // Int64Bytes encodes vals into a fresh payload.
-func Int64Bytes(vals []int64) []byte {
-	b := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
-	}
-	return b
-}
+func Int64Bytes(vals []int64) []byte { return codec.Int64Bytes(vals) }
+
+// PutInt64s encodes vals into b, which must hold 8*len(vals) bytes.
+func PutInt64s(b []byte, vals []int64) { codec.PutInt64s(b, vals) }
 
 // GetInt64s decodes len(vals) int64s from b.
-func GetInt64s(vals []int64, b []byte) {
-	for i := range vals {
-		vals[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
-	}
-}
+func GetInt64s(vals []int64, b []byte) { codec.GetInt64s(vals, b) }
 
 // SendFloat64s sends vals to dst with tag.
 func (c *Comm) SendFloat64s(vals []float64, dst, tag int) {

@@ -1,0 +1,68 @@
+package pure
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Observability surface: re-exports of the internal/obs tracer and metrics
+// registry plus Report conveniences.  See docs/OBSERVABILITY.md for usage.
+
+// Trace is a low-overhead event tracer: one single-writer ring buffer of
+// fixed-size event records per rank.  Pass one via Config.Trace.
+type Trace = obs.Trace
+
+// Event is one trace record; see obs.Event for field semantics.
+type Event = obs.Event
+
+// EventKind identifies what an Event records (sends and receives by protocol
+// path, queue stalls, rendezvous handoffs, collectives, steals, tasks).
+type EventKind = obs.Kind
+
+// Metrics is a registry of named counters, gauges and histograms that can be
+// snapshotted at any time, including mid-run.  Pass one via Config.Metrics.
+type Metrics = obs.Metrics
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry; it exports
+// to JSON (WriteJSON) and the Prometheus text format (WritePrometheus).
+type MetricsSnapshot = obs.Snapshot
+
+// NewTrace builds a tracer for nranks ranks with perRankEvents ring slots per
+// rank (0 selects the default, 65536 events ≈ 2.5 MiB per rank).  The trace
+// retains the newest events when a ring wraps; Trace.Dropped reports losses.
+func NewTrace(nranks, perRankEvents int) *Trace { return obs.NewTrace(nranks, perRankEvents) }
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// ParsePrometheus parses the Prometheus text format written by
+// MetricsSnapshot.WritePrometheus back into a snapshot (round-trip testing,
+// scrape post-processing).
+func ParsePrometheus(r io.Reader) (MetricsSnapshot, error) { return obs.ParsePrometheus(r) }
+
+// Timeline returns the run's events merged across ranks and sorted by start
+// time, or nil when the run was not traced.  Valid once RunWithReport has
+// returned (the rings are single-writer and unsynchronized while ranks run).
+func (rep *Report) Timeline() []Event {
+	if rep.Trace == nil {
+		return nil
+	}
+	return rep.Trace.Events()
+}
+
+// WriteChromeTrace writes the run's timeline in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and https://ui.perfetto.dev: nodes
+// become processes, ranks become threads, spans become complete events.  It
+// is a no-op (and returns nil) when the run was not traced.
+func (rep *Report) WriteChromeTrace(w io.Writer) error {
+	if rep.Trace == nil {
+		return nil
+	}
+	return obs.WriteChromeTrace(w, rep.Trace.Events(), func(rank int32) int {
+		if int(rank) < len(rep.PerRank) {
+			return rep.PerRank[rank].Node
+		}
+		return 0
+	})
+}

@@ -138,11 +138,26 @@ type Config struct {
 	ChunkMode   ChunkMode
 	StealPolicy StealPolicy
 	OwnerSteals bool
+	// Trace, when non-nil, records runtime events into per-rank ring buffers
+	// (build one with NewTrace(NRanks, 0)).  Disabled tracing costs one nil
+	// check per instrumentation site; see docs/OBSERVABILITY.md.
+	Trace *Trace
+	// Metrics, when non-nil, maintains live counters/gauges/histograms that
+	// can be snapshotted at any time (build one with NewMetrics()).
+	Metrics *Metrics
 }
 
 // Run launches a Pure program: main runs once per rank, concurrently.
 // It returns after every rank's main has returned, or an error if the
 // configuration is invalid or a rank panicked.
+//
+// Error contract: everything checkable before the ranks start — NRanks,
+// negative tuning knobs, Seats/Policy consistency, a Trace sized for a
+// different rank count — is reported as a descriptive error, never a
+// panic.  Per-call misuse inside main (an out-of-range peer rank, a tag
+// outside [0, 2^29), a receive buffer smaller than the arriving message)
+// panics at the offending call site, mirroring how MPI aborts on such
+// errors; those panics are intentional and documented on each method.
 func Run(cfg Config, main func(r *Rank)) error {
 	return core.Run(coreConfig(cfg), func(r *core.Rank) {
 		main(&Rank{r: r, world: &Comm{c: r.World()}})
@@ -166,6 +181,8 @@ func coreConfig(cfg Config) core.Config {
 		ChunkMode:      cfg.ChunkMode,
 		StealPolicy:    cfg.StealPolicy,
 		OwnerSteals:    cfg.OwnerSteals,
+		Trace:          cfg.Trace,
+		Metrics:        cfg.Metrics,
 	}
 }
 
@@ -190,6 +207,10 @@ func (r *Rank) World() *Comm { return r.world }
 
 // StealStats reports the rank's lifetime (steal attempts, chunks stolen).
 func (r *Rank) StealStats() (attempts, stolen int64) { return r.r.StealStats() }
+
+// Metrics returns the run's metrics registry (Config.Metrics), or nil when
+// metrics are disabled.  Ranks may snapshot or extend it mid-run.
+func (r *Rank) Metrics() *Metrics { return r.r.Metrics() }
 
 // NewTask defines a Pure Task split into nchunks chunks.  body receives a
 // half-open chunk range [start, end) that it must process exactly once per
@@ -235,10 +256,18 @@ type Request = core.Request
 type RankStats = core.RankStats
 
 // Report is the profiling output of RunWithReport: per-rank counters plus
-// their sum (the runtime analogue of the paper's profiling modes).
+// their sum (the runtime analogue of the paper's profiling modes).  When the
+// run was configured with Config.Trace or Config.Metrics, the report carries
+// them too, so Timeline/WriteChromeTrace and snapshot exports work straight
+// off the return value.
 type Report struct {
 	PerRank []RankStats
 	Total   RankStats
+
+	// Trace is the run's event trace (nil unless Config.Trace was set).
+	Trace *Trace
+	// Metrics is the run's metrics registry (nil unless Config.Metrics was set).
+	Metrics *Metrics
 }
 
 // RunWithReport is Run plus counter harvesting: message/byte counts per
@@ -248,7 +277,7 @@ func RunWithReport(cfg Config, main func(r *Rank)) (Report, error) {
 	stats, err := core.RunWithStats(coreConfig(cfg), func(r *core.Rank) {
 		main(&Rank{r: r, world: &Comm{c: r.World()}})
 	})
-	rep := Report{PerRank: stats}
+	rep := Report{PerRank: stats, Trace: cfg.Trace, Metrics: cfg.Metrics}
 	for _, s := range stats {
 		rep.Total.Add(s)
 	}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gate: build, vet, the
+# complete test suite, and the race detector over the lock-free/concurrent
+# packages (queue, collective, obs) whose bugs only -race reliably catches.
+# CI and `make verify` both run exactly this script.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrent core packages)"
+go test -race ./internal/queue ./internal/collective ./internal/obs
+
+echo "verify: OK"
