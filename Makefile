@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test race verify bench
+.PHONY: build test race chaos verify bench
 
 build:
 	go build ./...
@@ -10,6 +10,15 @@ test:
 
 race:
 	go test -race ./internal/queue ./internal/collective ./internal/obs
+
+# The robustness suite under the race detector: watchdog/abort containment
+# plus the fault-injection (drop/dup/reorder) chaos tests across several
+# seeds (override with PURE_CHAOS_SEEDS=comma,separated,ints).  Sized to
+# stay CI-friendly on a single CPU.
+chaos:
+	go test -race -count=1 \
+		-run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection' \
+		./internal/core ./internal/ssw ./pure
 
 # The full gate: build + vet + tests + race detector on the lock-free
 # packages.  Same script CI runs.

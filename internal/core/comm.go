@@ -186,7 +186,8 @@ func (c *Comm) Send(buf []byte, dst, tag int) {
 			if r.met != nil {
 				r.met.pbqStallWaits.Inc()
 			}
-			r.wait.Wait(func() bool { return q.TryEnqueue(buf) })
+			r.pendRec = WaitRecord{Kind: WaitP2PSend, Peer: g, Tag: tag, Comm: c.sh.id}
+			r.leafWait(func() bool { return q.TryEnqueue(buf) })
 			if r.trace != nil {
 				r.trace.EmitSpan(obs.KPBQStall, int32(g), int64(len(buf)), t0)
 			}
@@ -216,7 +217,8 @@ func (c *Comm) Recv(buf []byte, src, tag int) int {
 				return n
 			}
 			var n int
-			r.wait.Wait(func() bool {
+			r.pendRec = WaitRecord{Kind: WaitP2PRecv, Peer: g, Tag: tag, Comm: c.sh.id}
+			r.leafWait(func() bool {
 				var ok bool
 				n, ok = q.TryDequeue(buf)
 				return ok
@@ -257,6 +259,19 @@ func (c *Comm) Waitall(reqs ...*Request) {
 // multiNode reports whether the communicator spans nodes.
 func (c *Comm) multiNode() bool { return len(c.sh.nodeList) > 1 }
 
+// collWait builds a lazyWait holding a WaitCollective record for the duration
+// of a collective call; the record is published only if the collective
+// actually stalls (nested leader-tree p2p waits overlay it and restore it on
+// completion).  Seq is the SPTD round being entered, so a watchdog dump of a
+// stuck Barrier shows which ranks reached round N and which are a round
+// behind — the classic "someone never entered the collective" signature.
+func (c *Comm) collWait(op string, ni, tid int) lazyWait {
+	return lazyWait{r: c.r, rec: WaitRecord{
+		Kind: WaitCollective, Peer: -1, Comm: c.sh.id, Op: op,
+		Seq: c.sh.nodes[ni].sptd.Round(tid) + 1,
+	}}
+}
+
 // Barrier blocks until every comm member has entered it.
 func (c *Comm) Barrier() {
 	c.r.stats.Barriers++
@@ -268,7 +283,9 @@ func (c *Comm) Barrier() {
 	if c.multiNode() {
 		bridge = func() { c.leaderDissemination(ni) }
 	}
-	sh.nodes[ni].sptd.BarrierBridged(tid, bridge, c.r.wait.Wait)
+	lw := c.collWait("barrier", ni, tid)
+	sh.nodes[ni].sptd.BarrierBridged(tid, bridge, lw.wait)
+	lw.finish()
 	c.r.finishColl(obs.KBarrier, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 }
 
@@ -290,11 +307,14 @@ func (c *Comm) Allreduce(in, out []byte, op collective.Op, dt collective.DType) 
 	}
 	node := sh.nodes[ni]
 	t0 := c.r.traceStart()
+	lw := c.collWait("allreduce", ni, tid)
 	if len(in) <= c.r.rt.cfg.SPTDMax {
-		node.sptd.Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+		node.sptd.Allreduce(tid, in, out, op, dt, bridge, lw.wait)
+		lw.finish()
 		c.r.finishColl(obs.KAllreduce, t0, int64(node.sptd.Round(tid)))
 	} else {
-		node.pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+		node.pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, lw.wait)
+		lw.finish()
 		c.r.finishColl(obs.KAllreduce, t0, 0)
 	}
 }
@@ -320,15 +340,18 @@ func (c *Comm) Reduce(in, out []byte, root int, op collective.Op, dt collective.
 		bridge = func(acc []byte) { c.leaderReduce(ni, rootNi, acc, op, dt) }
 	}
 	t0 := c.r.traceStart()
+	lw := c.collWait("reduce", ni, tid)
 	if len(in) <= c.r.rt.cfg.SPTDMax {
 		// On non-root nodes the local leader receives the node reduction and
 		// forwards it to the cross-node tree inside bridge.
-		sh.nodes[ni].sptd.Reduce(tid, localRoot, in, out, op, dt, bridge, c.r.wait.Wait)
+		sh.nodes[ni].sptd.Reduce(tid, localRoot, in, out, op, dt, bridge, lw.wait)
+		lw.finish()
 		c.r.finishColl(obs.KReduce, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 		return
 	}
 	// Large payloads: partitioned all-reduce locally, leader forwards.
-	sh.nodes[ni].pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, c.r.wait.Wait)
+	sh.nodes[ni].pr(len(in)).Allreduce(tid, in, out, op, dt, bridge, lw.wait)
+	lw.finish()
 	c.r.finishColl(obs.KReduce, t0, 0)
 }
 
@@ -344,6 +367,7 @@ func (c *Comm) Bcast(buf []byte, root int) {
 
 	if len(buf) <= c.r.rt.cfg.SPTDMax {
 		rootGlobal := sh.members[root]
+		lw := c.collWait("bcast", ni, tid)
 		if ni == rootNi {
 			localRoot := sh.localIdxOf[root]
 			var bridge func([]byte)
@@ -351,7 +375,8 @@ func (c *Comm) Bcast(buf []byte, root int) {
 				// The root rank itself acts as its node's tree agent.
 				bridge = func(b []byte) { c.leaderBcast(ni, rootNi, rootGlobal, b) }
 			}
-			sh.nodes[ni].sptd.Broadcast(tid, localRoot, buf, bridge, c.r.wait.Wait)
+			sh.nodes[ni].sptd.Broadcast(tid, localRoot, buf, bridge, lw.wait)
+			lw.finish()
 			c.r.finishColl(obs.KBcast, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 			return
 		}
@@ -361,7 +386,8 @@ func (c *Comm) Bcast(buf []byte, root int) {
 		if tid == 0 {
 			bridge = func(b []byte) { c.leaderBcast(ni, rootNi, rootGlobal, b) }
 		}
-		sh.nodes[ni].sptd.Broadcast(tid, 0, buf, bridge, c.r.wait.Wait)
+		sh.nodes[ni].sptd.Broadcast(tid, 0, buf, bridge, lw.wait)
+		lw.finish()
 		c.r.finishColl(obs.KBcast, t0, int64(sh.nodes[ni].sptd.Round(tid)))
 		return
 	}

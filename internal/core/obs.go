@@ -40,6 +40,16 @@ type metricSet struct {
 	// Pure Task executions and the chunks thieves took from them.
 	tasks        *obs.Counter
 	chunksStolen *obs.Counter
+
+	// Fault tolerance: runtime aborts (all causes), watchdog hang dumps, and
+	// the reliable inter-node path's retransmits / exhausted retry budgets.
+	// The injected-fault counts (drops, dups, reorders) are harvested from
+	// the netsim layer at run end.
+	aborts            *obs.Counter
+	hangs             *obs.Counter
+	netRetransmits    *obs.Counter
+	netRetryExhausted *obs.Counter
+	netDupsDropped    *obs.Counter
 }
 
 func newMetricSet(reg *obs.Metrics) *metricSet {
@@ -68,6 +78,12 @@ func newMetricSet(reg *obs.Metrics) *metricSet {
 		steals:         reg.Counter("pure_steals_total"),
 		tasks:          reg.Counter("pure_tasks_executed_total"),
 		chunksStolen:   reg.Counter("pure_chunks_stolen_total"),
+
+		aborts:            reg.Counter("pure_aborts_total"),
+		hangs:             reg.Counter("pure_watchdog_hangs_total"),
+		netRetransmits:    reg.Counter("pure_net_retransmits_total"),
+		netRetryExhausted: reg.Counter("pure_net_retry_exhausted_total"),
+		netDupsDropped:    reg.Counter("pure_net_dups_discarded_total"),
 	}
 }
 
@@ -110,6 +126,18 @@ func (rt *Runtime) harvestObs(ranks []*Rank) {
 		m.stealAttempts.Add(r.thief.Attempts)
 		m.steals.Add(r.thief.Stolen)
 	}
+	if fs := rt.net.FaultStats(); fs.Transmits > 0 {
+		m.reg.Counter("pure_net_transmits_total").Add(fs.Transmits)
+		m.reg.Counter("pure_net_drops_injected_total").Add(fs.Drops)
+		m.reg.Counter("pure_net_dups_injected_total").Add(fs.Dups)
+		m.reg.Counter("pure_net_reorders_injected_total").Add(fs.Reorders)
+		var dupes int64
+		rt.remotes.Range(func(_, v any) bool {
+			dupes += v.(*remoteChannel).dupes
+			return true
+		})
+		m.netDupsDropped.Add(dupes)
+	}
 }
 
 // attachObs hooks a freshly built rank into the runtime's observability
@@ -121,11 +149,17 @@ func (r *Rank) attachObs() {
 		r.trace = rt.cfg.Trace.Rank(r.id)
 	}
 	r.met = rt.met
-	if r.trace == nil && r.met == nil {
+	// The steal observer also feeds the watchdog: a stolen chunk is forward
+	// progress even though the thief stays parked in its Wait, so without
+	// the tick a long task execution would read as a global hang.  The hook
+	// (two clock reads per successful steal) is only installed when someone
+	// consumes it — tracing, metrics, or an armed watchdog.
+	if r.trace == nil && r.met == nil && rt.cfg.HangTimeout == 0 {
 		return
 	}
-	tr, met := r.trace, r.met
+	tr, met, slot := r.trace, r.met, r.slot
 	r.thief.Obs = func(ns int64) {
+		slot.progress.Add(1)
 		if tr != nil {
 			tr.EmitDur(obs.KStealSuccess, -1, 1, ns)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/queue"
@@ -51,15 +52,38 @@ func (l *reqList) pop() {
 	}
 }
 
+// netMsg is one mailbox entry.  seq is only meaningful on the reliable
+// (fault-injected) path, where the link layer sequences, deduplicates and
+// acknowledges messages; the fault-free fast path leaves it zero.
+type netMsg struct {
+	seq     uint64
+	payload []byte
+}
+
 // remoteChannel is an inter-node channel.  In the paper this is MPI_Send /
 // MPI_Recv with sender/receiver thread ids encoded in the tag's upper bits;
 // here it is an ordered mailbox whose enqueue pays the modeled network cost
 // and contends on the destination node's "NIC" lock (the
 // MPI_THREAD_MULTIPLE serialization Pure accepts on this path).
+//
+// When fault injection is active the channel additionally runs a link-layer
+// ack/retransmit protocol: the (single) sending rank stamps each message with
+// a sequence number, the receiving NIC accepts messages in order — stashing
+// out-of-order arrivals, discarding duplicates — and publishes the highest
+// contiguous sequence in arrived, which doubles as the (shared-memory) ack
+// the sender polls.  Injected drops are recovered by retransmission with
+// exponential backoff under a retry budget.
 type remoteChannel struct {
 	n    atomic.Int64 // buffered message count (lock-free emptiness probe)
 	mu   chanMutex
-	msgs [][]byte
+	msgs []netMsg
+
+	// Reliable-path state (untouched on the fault-free path).
+	sendSeq uint64        // last sequence assigned; owned by the sending rank
+	arrived atomic.Uint64 // highest contiguous seq accepted into msgs (the ack)
+	pending map[uint64][]byte // out-of-order arrivals keyed by seq (guarded by mu)
+	hold    *netMsg           // reorder-injection hold slot (guarded by mu)
+	dupes   int64             // duplicates discarded at the NIC (guarded by mu)
 }
 
 // chanMutex is a tiny spinlock; contention on it plays the role of the MPI
@@ -137,11 +161,18 @@ type Request struct {
 	ch     *channel
 	rem    *remoteChannel
 	buf    []byte
-	seq    uint64 // rendezvous ticket (recv side)
-	peer   int32  // global peer rank (for trace events)
+	seq    uint64 // rendezvous ticket (recv side) or remote link sequence
+	peer   int32  // global peer rank (for trace events and wait records)
+	tag    int    // message tag (wait-registry diagnostics)
+	comm   uint64 // communicator id (wait-registry diagnostics)
 	posted bool   // rendezvous recv: envelope pushed
 	done   bool
 	n      int // bytes transferred (recv side)
+
+	// Reliable remote-send state (fault-injected runs only).
+	dstNode  int       // destination node (for the NIC lock on retransmit)
+	attempts int       // transmit attempts so far
+	retryAt  time.Time // when the next retransmit is due
 }
 
 // Done reports whether the request has completed.  Completion only advances
@@ -201,9 +232,22 @@ func (r *Rank) isend(commID uint64, buf []byte, dst, tag int) *Request {
 		if r.met != nil {
 			r.met.countSend(reqRemoteSend, len(buf))
 		}
-		req := &Request{kind: reqRemoteSend, peer: int32(dst), buf: buf}
-		r.remoteSend(key, buf)
-		req.done = true
+		req := &Request{kind: reqRemoteSend, peer: int32(dst), tag: tag, comm: commID, buf: buf}
+		if !r.rt.net.FaultsActive() {
+			// Fault-free fast path: the modeled wire never loses anything,
+			// so the send completes at post time (MPI buffered semantics).
+			r.remoteSend(key, buf)
+			req.done = true
+			return req
+		}
+		// Reliable path: stamp a link sequence, transmit attempt 1, and let
+		// Wait/Test drive retransmits until the receiving NIC acks.
+		rc := r.getRemote(key)
+		rc.sendSeq++ // channels are SPSC: this rank is the only sender
+		req.rem = rc
+		req.seq = rc.sendSeq
+		req.dstNode = r.rt.place.NodeOf(dst)
+		r.transmitRemote(req)
 		return req
 	}
 	ch := r.getChannel(key)
@@ -213,13 +257,13 @@ func (r *Rank) isend(commID uint64, buf []byte, dst, tag int) *Request {
 		if r.trace != nil {
 			r.trace.Emit(obs.KSendEager, int32(dst), int64(len(buf)))
 		}
-		req = &Request{kind: reqSendEager, ch: ch, peer: int32(dst), buf: buf}
+		req = &Request{kind: reqSendEager, ch: ch, peer: int32(dst), tag: tag, comm: commID, buf: buf}
 	} else {
 		r.stats.SendsRendezvous++
 		if r.trace != nil {
 			r.trace.Emit(obs.KSendRendezvous, int32(dst), int64(len(buf)))
 		}
-		req = &Request{kind: reqSendRvz, ch: ch, peer: int32(dst), buf: buf}
+		req = &Request{kind: reqSendRvz, ch: ch, peer: int32(dst), tag: tag, comm: commID, buf: buf}
 	}
 	if r.met != nil {
 		r.met.countSend(req.kind, len(buf))
@@ -241,31 +285,66 @@ func (r *Rank) irecv(commID uint64, buf []byte, src, tag int) *Request {
 	key := chanKey{src: src, dst: r.id, tag: tag, comm: commID}
 	if !r.rt.place.SameNode(r.id, src) {
 		r.stats.RecvsRemote++
-		req := &Request{kind: reqRemoteRecv, rem: r.getRemote(key), peer: int32(src), buf: buf}
+		req := &Request{kind: reqRemoteRecv, rem: r.getRemote(key), peer: int32(src), tag: tag, comm: commID, buf: buf}
 		return req
 	}
 	ch := r.getChannel(key)
 	var req *Request
 	if len(buf) < r.rt.cfg.SmallMsgMax {
 		r.stats.RecvsEager++
-		req = &Request{kind: reqRecvEager, ch: ch, peer: int32(src), buf: buf}
+		req = &Request{kind: reqRecvEager, ch: ch, peer: int32(src), tag: tag, comm: commID, buf: buf}
 	} else {
 		r.stats.RecvsRendezvous++
-		req = &Request{kind: reqRecvRvz, ch: ch, peer: int32(src), buf: buf}
+		req = &Request{kind: reqRecvRvz, ch: ch, peer: int32(src), tag: tag, comm: commID, buf: buf}
 	}
 	ch.recvPend.push(req)
 	r.progressRecv(ch)
 	return req
 }
 
+// waitKindFor maps a request's protocol path to its wait-registry kind.
+func waitKindFor(k reqKind) WaitKind {
+	switch k {
+	case reqSendEager:
+		return WaitP2PSend
+	case reqSendRvz:
+		return WaitRvzSend
+	case reqRecvEager:
+		return WaitP2PRecv
+	case reqRecvRvz:
+		return WaitRvzRecv
+	case reqRemoteSend:
+		return WaitRemoteAck
+	case reqRemoteRecv:
+		return WaitRemoteRecv
+	}
+	return WaitNone
+}
+
 // waitReq blocks (in the SSW-Loop) until req completes and returns the byte
-// count for receives.
+// count for receives.  While blocked, the rank publishes a wait record so the
+// watchdog can name what (and whom) it is waiting on.
 func (r *Rank) waitReq(req *Request) int {
+	if req.done {
+		return req.n
+	}
+	r.pendRec = WaitRecord{
+		Kind: waitKindFor(req.kind), Peer: int(req.peer),
+		Tag: req.tag, Comm: req.comm, Seq: req.seq,
+	}
 	switch req.kind {
 	case reqRemoteSend:
-		// completed at post time
+		// Reliable path only (fault-free remote sends complete at post time):
+		// poll the receiver NIC's ack watermark, retransmitting on timeout.
+		r.leafWait(func() bool {
+			if req.done {
+				return true
+			}
+			r.progressRemoteSend(req)
+			return req.done
+		})
 	case reqRemoteRecv:
-		r.wait.Wait(func() bool {
+		r.leafWait(func() bool {
 			if req.done {
 				return true
 			}
@@ -274,7 +353,7 @@ func (r *Rank) waitReq(req *Request) int {
 		})
 	default:
 		ch := req.ch
-		r.wait.Wait(func() bool {
+		r.leafWait(func() bool {
 			if req.done {
 				return true
 			}
@@ -317,7 +396,8 @@ func (r *Rank) progressSend(ch *channel) {
 			}
 			n := copy(env.Dest, req.buf)
 			for !rz.Completions.TryPush(queue.Completion{Bytes: n, Seq: env.Seq}) {
-				gosched() // completion ring full: receiver must drain; bounded wait
+				r.checkPoison() // receiver may have unwound without draining
+				gosched()       // completion ring full: receiver must drain; bounded wait
 			}
 			if r.trace != nil {
 				r.trace.Emit(obs.KRendezvousHandoff, req.peer, int64(n))
@@ -388,7 +468,8 @@ func (r *Rank) progressRecv(ch *channel) {
 
 // remoteSend delivers buf to a rank on another node: pay the modeled wire
 // time, then append to the destination mailbox under the destination node's
-// NIC lock.
+// NIC lock.  Fault-free fast path only; the reliable path goes through
+// transmitRemote.
 func (r *Rank) remoteSend(key chanKey, buf []byte) {
 	rc := r.getRemote(key)
 	cp := make([]byte, len(buf))
@@ -398,10 +479,119 @@ func (r *Rank) remoteSend(key chanKey, buf []byte) {
 	nic := &r.rt.nodes[dstNode].nic
 	nic.Lock()
 	rc.mu.lock()
-	rc.msgs = append(rc.msgs, cp)
+	rc.msgs = append(rc.msgs, netMsg{payload: cp})
 	rc.n.Add(1)
 	rc.mu.unlock()
 	nic.Unlock()
+}
+
+// transmitRemote pushes one (re)transmission of a reliable remote send onto
+// the wire, letting the fault injector drop, duplicate, reorder or delay it.
+// The ack is the receiving channel's arrived watermark, advanced under the
+// NIC lock by whoever delivers the missing sequence — which, because acks are
+// modeled as free shared-memory reads, the sender observes without the
+// receiver ever posting a matching recv.
+func (r *Rank) transmitRemote(req *Request) {
+	req.attempts++
+	req.retryAt = time.Now().Add(r.rt.net.RetryBackoff(req.attempts))
+	net := r.rt.net
+	v := net.Inject()
+	if v.Drop {
+		return // the wire ate it; Wait will retransmit after the backoff
+	}
+	cp := make([]byte, len(req.buf))
+	copy(cp, req.buf)
+	net.TransferExtra(len(req.buf), v.ExtraNs)
+	rc := req.rem
+	nic := &r.rt.nodes[req.dstNode].nic
+	nic.Lock()
+	rc.mu.lock()
+	rc.deliver(netMsg{seq: req.seq, payload: cp}, v.Reorder)
+	if v.Dup {
+		rc.deliver(netMsg{seq: req.seq, payload: cp}, false)
+	}
+	rc.mu.unlock()
+	nic.Unlock()
+}
+
+// deliver runs the receiving NIC's link-layer accept logic for one arriving
+// frame.  Caller holds rc.mu (and the node NIC lock).  A Reorder verdict
+// parks the frame in the one-slot hold; the next arrival (or retransmit)
+// releases it afterwards, swapping their order on an in-order stream.
+func (rc *remoteChannel) deliver(m netMsg, reorder bool) {
+	if held := rc.hold; held != nil {
+		rc.hold = nil
+		rc.accept(m)
+		rc.accept(*held)
+		return
+	}
+	if reorder {
+		rc.hold = &m
+		return
+	}
+	rc.accept(m)
+}
+
+// accept sequences one frame into the mailbox: duplicates (at or below the
+// watermark, or already stashed) are discarded, out-of-order arrivals are
+// stashed, and the in-order frame is appended along with any stashed
+// successors it unblocks.  Advancing arrived is the ack.
+func (rc *remoteChannel) accept(m netMsg) {
+	want := rc.arrived.Load() + 1
+	switch {
+	case m.seq < want:
+		rc.dupes++
+	case m.seq > want:
+		if rc.pending == nil {
+			rc.pending = make(map[uint64][]byte)
+		}
+		if _, ok := rc.pending[m.seq]; ok {
+			rc.dupes++
+			return
+		}
+		rc.pending[m.seq] = m.payload
+	default:
+		rc.msgs = append(rc.msgs, m)
+		rc.n.Add(1)
+		for {
+			want++
+			p, ok := rc.pending[want]
+			if !ok {
+				break
+			}
+			delete(rc.pending, want)
+			rc.msgs = append(rc.msgs, netMsg{seq: want, payload: p})
+			rc.n.Add(1)
+		}
+		rc.arrived.Store(want - 1)
+	}
+}
+
+// progressRemoteSend advances a reliable remote send: done once the receiver
+// NIC's watermark covers our sequence; otherwise retransmit when the backoff
+// expires, poisoning the runtime when the retry budget runs out.
+func (r *Rank) progressRemoteSend(req *Request) {
+	if req.rem.arrived.Load() >= req.seq {
+		req.done = true
+		req.n = len(req.buf)
+		return
+	}
+	if time.Now().Before(req.retryAt) {
+		return
+	}
+	if req.attempts >= r.rt.net.RetryBudget() {
+		if r.met != nil {
+			r.met.netRetryExhausted.Inc()
+		}
+		r.rt.poison(CauseNetDead, fmt.Sprintf(
+			"rank %d: remote send seq %d to rank %d (tag %d) unacked after %d attempts: retry budget exhausted",
+			r.id, req.seq, req.peer, req.tag, req.attempts), "", nil)
+		r.checkPoison() // unwinds
+	}
+	if r.met != nil {
+		r.met.netRetransmits.Inc()
+	}
+	r.transmitRemote(req)
 }
 
 // progressRemoteRecv completes a remote receive if a message has arrived.
@@ -415,8 +605,8 @@ func (r *Rank) progressRemoteRecv(req *Request) {
 		rc.mu.unlock()
 		return
 	}
-	msg := rc.msgs[0]
-	rc.msgs[0] = nil
+	msg := rc.msgs[0].payload
+	rc.msgs[0] = netMsg{}
 	rc.msgs = rc.msgs[1:]
 	if len(rc.msgs) == 0 {
 		rc.msgs = nil

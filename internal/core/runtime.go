@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -69,7 +70,19 @@ type Config struct {
 	SpinBudget int
 
 	// Net is the inter-node cost model (netsim.Loopback() for 1 node).
+	// Net.Faults enables seeded drop/duplicate/reorder/jitter injection,
+	// which also switches the inter-node path onto the ack/retransmit layer.
 	Net netsim.Config
+
+	// HangTimeout arms the watchdog: when every live rank is blocked and no
+	// rank makes progress for this long, the runtime diagnoses the hang
+	// (wait-for cycle vs. lost-message stall), aborts, and Run returns a
+	// *RunError naming the blocked ranks.  Zero disables the watchdog.
+	HangTimeout time.Duration
+	// Deadline aborts the run after this much wall-clock time regardless of
+	// progress.  Zero means no deadline.  Abort is cooperative: a rank that
+	// never re-enters the runtime (a pure compute loop) cannot be unwound.
+	Deadline time.Duration
 
 	// HelpersPerNode starts that many pure helper threads on each node
 	// (threads that only steal; paper §5.1, DT class A).
@@ -127,6 +140,27 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.Trace != nil && cfg.Trace.NRanks() != cfg.NRanks {
 		return cfg, fmt.Errorf("core: Trace sized for %d ranks but NRanks is %d", cfg.Trace.NRanks(), cfg.NRanks)
 	}
+	if cfg.HangTimeout < 0 {
+		return cfg, fmt.Errorf("core: HangTimeout must not be negative, got %v", cfg.HangTimeout)
+	}
+	if cfg.Deadline < 0 {
+		return cfg, fmt.Errorf("core: Deadline must not be negative, got %v", cfg.Deadline)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", cfg.Net.Faults.DropProb},
+		{"DupProb", cfg.Net.Faults.DupProb},
+		{"ReorderProb", cfg.Net.Faults.ReorderProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return cfg, fmt.Errorf("core: Net.Faults.%s must be in [0, 1], got %g", p.name, p.v)
+		}
+	}
+	if cfg.Net.Faults.JitterNs < 0 || cfg.Net.Faults.RetryBudget < 0 || cfg.Net.Faults.RetryBackoffNs < 0 {
+		return cfg, fmt.Errorf("core: Net.Faults jitter/retry knobs must not be negative")
+	}
 	if cfg.Spec == (topology.Spec{}) {
 		cfg.Spec = topology.Spec{Nodes: 1, SocketsPerNode: 1, CoresPerSocket: cfg.NRanks, ThreadsPerCore: 1}
 	}
@@ -173,6 +207,12 @@ type Runtime struct {
 	// met holds the pre-resolved metric handles when cfg.Metrics is set
 	// (nil otherwise — the disabled state every hot path nil-checks).
 	met *metricSet
+
+	// waitSlots is the wait registry: one slot per rank, scanned by the
+	// watchdog and harvested into RunError diagnostics on abort.
+	waitSlots []rankWaitSlot
+	// abort is the runtime poison: once set, every SSW wait unwinds its rank.
+	abort abortState
 }
 
 // Rank is one application rank's runtime handle.  Every runtime call a rank
@@ -196,6 +236,28 @@ type Rank struct {
 	// off); met is the runtime's shared metric set (nil when metrics are off).
 	trace *obs.RankTrace
 	met   *metricSet
+
+	// slot is the rank's entry in the runtime's wait registry (watchdog and
+	// abort diagnostics read it).
+	slot *rankWaitSlot
+	// pendRec describes the rank's innermost *leaf* wait — a p2p or remote
+	// stall with no waits nested inside it — while pendActive is set.  These
+	// are plain fields: only the rank's own goroutine touches them, and they
+	// become visible to diagnostics only when copied into the (atomic) wait
+	// slot, either by the watchdog-armed probe counter or by the unwind
+	// settlement in settleUnwoundWait.
+	pendRec       WaitRecord
+	pendActive    bool
+	pendPublished bool
+	// unwindPublished is set by the first unwind handler to run while an
+	// abort panic unwinds this rank, so outer (less specific) waits on the
+	// same stack leave the innermost record in place.  Only the rank's own
+	// goroutine touches it.
+	unwindPublished bool
+	// liveWaitRecords is true when the hang watchdog is armed and therefore
+	// needs wait records published while ranks are still blocked (not just
+	// at abort unwind).
+	liveWaitRecords bool
 }
 
 // ID returns the rank's global id in [0, NRanks).
@@ -299,16 +361,37 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 		}
 	}
 
+	rt.waitSlots = make([]rankWaitSlot, rcfg.NRanks)
 	var wg sync.WaitGroup
-	panics := make(chan any, rcfg.NRanks)
+	failures := make(chan RankFailure, rcfg.NRanks)
 	ranks := make([]*Rank, rcfg.NRanks)
 	for id := 0; id < rcfg.NRanks; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
-					panics <- fmt.Sprintf("rank %d: %v", id, p)
+				rt.waitSlots[id].done.Store(true)
+				p := recover()
+				if p == nil {
+					return
+				}
+				switch v := p.(type) {
+				case ssw.AbortPanic:
+					// Unwound by runtime poisoning: a survivor, not a new
+					// failure.  Its wait record stays published for the
+					// RunError's blocked-rank listing; a leaf wait that
+					// unwound before publishing settles its pending record
+					// here (there is no lazyWait handler below a leaf).
+					rt.waitSlots[id].unwound.Store(true)
+					if r := ranks[id]; r != nil {
+						r.settleUnwoundWait(nil)
+					}
+					ranks[id].emitAbortEvent()
+				case rankAbortPanic:
+					failures <- RankFailure{Rank: id, Reason: fmt.Sprintf("Abort: %v", v.err)}
+				default:
+					rt.poison(CausePanic, fmt.Sprintf("rank %d panicked: %v", id, p), "", nil)
+					failures <- RankFailure{Rank: id, Reason: fmt.Sprintf("panic: %v", p)}
 				}
 			}()
 			r := rt.newRank(id)
@@ -316,7 +399,22 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 			main(r)
 		}(id)
 	}
+
+	// The watchdog is the only non-rank goroutine the runtime starts; it
+	// scans the wait registry for global no-progress and enforces Deadline.
+	var watchWG sync.WaitGroup
+	stopWatch := make(chan struct{})
+	if rcfg.HangTimeout > 0 || rcfg.Deadline > 0 {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			rt.watchdog(stopWatch)
+		}()
+	}
+
 	wg.Wait()
+	close(stopWatch)
+	watchWG.Wait()
 	rt.harvestObs(ranks)
 	if harvest != nil {
 		harvest(ranks)
@@ -331,14 +429,26 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 			ns.helperWG.Wait()
 		}
 	}
-	close(panics)
-	if p, ok := <-panics; ok {
-		return fmt.Errorf("core: rank panicked: %v", p)
+	close(failures)
+	var fails []RankFailure
+	for f := range failures {
+		fails = append(fails, f)
+	}
+	if len(fails) > 0 || rt.abort.flag.Load() {
+		return rt.buildRunError(fails)
 	}
 	return nil
 }
 
+// testNewRankHook, when non-nil, runs at the top of newRank.  Tests use it to
+// simulate a rank that dies during bootstrap, which leaves ranks[id] == nil —
+// the harvest paths must tolerate that.
+var testNewRankHook func(id int)
+
 func (rt *Runtime) newRank(id int) *Rank {
+	if testNewRankHook != nil {
+		testNewRankHook(id)
+	}
 	node := rt.place.NodeOf(id)
 	local := rt.place.LocalIndex(id)
 	r := &Rank{
@@ -348,10 +458,13 @@ func (rt *Runtime) newRank(id int) *Rank {
 		local:     local,
 		chanCache: make(map[chanKey]*channel),
 		remCache:  make(map[chanKey]*remoteChannel),
+		slot:      &rt.waitSlots[id],
+
+		liveWaitRecords: rt.cfg.HangTimeout > 0,
 	}
 	r.thief = rt.nodes[node].sched.NewThief(local)
 	r.attachObs()
-	r.wait = ssw.Waiter{Steal: r.thief, SpinBudget: rt.cfg.SpinBudget}
+	r.wait = ssw.Waiter{Steal: r.thief, SpinBudget: rt.cfg.SpinBudget, Poison: rt.abortErr}
 	r.world = &Comm{r: r, sh: rt.world, myRank: id}
 	return r
 }

@@ -87,6 +87,12 @@ func RunWithStats(cfg Config, main func(r *Rank)) ([]RankStats, error) {
 	err := runInternal(cfg, main, func(ranks []*Rank) {
 		stats = make([]RankStats, len(ranks))
 		for i, r := range ranks {
+			if r == nil {
+				// The rank died inside newRank (its main panicked before the
+				// bootstrap published the handle); it has no counters.
+				stats[i].Rank = i
+				continue
+			}
 			stats[i] = r.Stats()
 		}
 	})

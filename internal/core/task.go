@@ -47,7 +47,13 @@ func (t *Task) Execute(extra any) sched.RunStats {
 	r := t.r
 	ns := r.rt.nodes[r.node]
 	t0 := r.traceStart()
-	stats := ns.sched.Run(r.local, t.nchunks, t.body, extra, r.wait.Wait)
+	// The straggler wait inside Run (owner waiting for stolen chunks to
+	// finish) is a blocking point like any other; publish it.  Thieves that
+	// execute chunks tick the progress counter through the steal observer, so
+	// the watchdog sees a long-running task as live.
+	lw := lazyWait{r: r, rec: WaitRecord{Kind: WaitTask, Peer: -1, Seq: uint64(t.nchunks), Op: "execute"}}
+	stats := ns.sched.Run(r.local, t.nchunks, t.body, extra, lw.wait)
+	lw.finish()
 	r.stats.TasksExecuted++
 	r.stats.ChunksOwned += stats.OwnerChunks
 	r.stats.ChunksStolen += stats.StolenChunks

@@ -61,6 +61,10 @@ const (
 	// KTaskExecute is one Task.Execute call; Dur is the execution time and
 	// Arg the chunk count.
 	KTaskExecute
+	// KAbortUnwind records a rank being forcibly unwound by runtime
+	// poisoning (watchdog, Abort, panic containment); Peer is the peer the
+	// rank was blocked on (-1 if none) and Arg the numeric wait kind.
+	KAbortUnwind
 
 	kindCount
 )
@@ -70,7 +74,7 @@ var kindNames = [kindCount]string{
 	"RecvEager", "RecvRendezvous", "RecvRemote",
 	"PBQStall", "RendezvousHandoff",
 	"Barrier", "Reduce", "Allreduce", "Bcast",
-	"StealSuccess", "TaskExecute",
+	"StealSuccess", "TaskExecute", "AbortUnwind",
 }
 
 // String returns the kind's stable name (used in exports).
@@ -91,6 +95,8 @@ func (k Kind) Category() string {
 		return "collective"
 	case KStealSuccess, KTaskExecute:
 		return "sched"
+	case KAbortUnwind:
+		return "runtime"
 	default:
 		return "p2p"
 	}

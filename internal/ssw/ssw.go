@@ -28,6 +28,14 @@ type Stealer interface {
 	TrySteal() bool
 }
 
+// AbortPanic is the value Wait panics with when its Poison hook reports that
+// the runtime has been aborted.  It unwinds the blocked rank's goroutine
+// through application code; the runtime's rank bootstrap recovers it and
+// records the rank as unwound-by-abort rather than as a new failure.
+type AbortPanic struct{ Err error }
+
+func (a AbortPanic) Error() string { return a.Err.Error() }
+
 // Waiter is a reusable SSW-Loop bound to one rank's stealer.
 type Waiter struct {
 	// Steal, if non-nil, is probed between condition checks.
@@ -35,6 +43,12 @@ type Waiter struct {
 	// SpinBudget is the number of probes between yields; zero means
 	// DefaultSpinBudget.
 	SpinBudget int
+	// Poison, if non-nil, is consulted at every yield boundary (so the
+	// satisfied-on-first-probe fast path never pays for it).  A non-nil
+	// error makes Wait panic with AbortPanic{err}, unwinding the blocked
+	// rank: this is how a poisoned runtime reclaims ranks parked in any of
+	// the SSW-Loop's "dozens of places" instead of hanging forever.
+	Poison func() error
 }
 
 // Wait blocks until cond returns true, stealing task chunks while it waits.
@@ -58,6 +72,11 @@ func (w *Waiter) Wait(cond func() bool) {
 		}
 		spins++
 		if spins >= budget {
+			if w.Poison != nil {
+				if err := w.Poison(); err != nil {
+					panic(AbortPanic{Err: err})
+				}
+			}
 			runtime.Gosched()
 			spins = 0
 		}

@@ -1,6 +1,7 @@
 package ssw
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -89,4 +90,44 @@ func TestSpinBudgetDefault(t *testing.T) {
 	if n <= DefaultSpinBudget*2 {
 		t.Fatal("wait exited early")
 	}
+}
+
+func TestPoisonUnwindsBlockedWait(t *testing.T) {
+	poisoned := errors.New("runtime aborted")
+	armed := atomic.Bool{}
+	w := &Waiter{
+		SpinBudget: 4,
+		Poison: func() error {
+			if armed.Load() {
+				return poisoned
+			}
+			return nil
+		},
+	}
+	defer func() {
+		p := recover()
+		ap, ok := p.(AbortPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want AbortPanic", p, p)
+		}
+		if ap.Err != poisoned {
+			t.Fatalf("AbortPanic carries %v, want the poison error", ap.Err)
+		}
+	}()
+	probes := 0
+	w.Wait(func() bool {
+		probes++
+		if probes > 2 {
+			armed.Store(true)
+		}
+		return false // never satisfied; only the poison can end this wait
+	})
+	t.Fatal("Wait returned instead of unwinding")
+}
+
+func TestPoisonNotConsultedOnFastPath(t *testing.T) {
+	// A condition satisfied on the first probe must never pay for (or be
+	// failed by) the poison hook.
+	w := &Waiter{Poison: func() error { t.Fatal("poison consulted on fast path"); return nil }}
+	w.Wait(func() bool { return true })
 }

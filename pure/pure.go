@@ -33,6 +33,8 @@
 package pure
 
 import (
+	"time"
+
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -104,6 +106,12 @@ func CoriNode(nodes int) Spec { return topology.CoriSpec(nodes) }
 // NetConfig is the inter-node network cost model; see netsim.Config.
 type NetConfig = netsim.Config
 
+// Faults is the inter-node fault-injection configuration (set it on
+// NetConfig.Faults); see netsim.Faults.  Injected drops, duplicates and
+// reorders are recovered transparently by the runtime's link-layer
+// ack/retransmit protocol, at the cost of retransmission latency.
+type Faults = netsim.Faults
+
 // AriesNet returns the Cray-Aries-like model used for multi-node runs.
 func AriesNet() NetConfig { return netsim.Aries() }
 
@@ -145,6 +153,18 @@ type Config struct {
 	// Metrics, when non-nil, maintains live counters/gauges/histograms that
 	// can be snapshotted at any time (build one with NewMetrics()).
 	Metrics *Metrics
+	// HangTimeout arms the runtime watchdog: if every rank is blocked in the
+	// runtime and no progress happens for this long, the run is aborted with
+	// a *RunError that names each blocked rank, what it was waiting on, and —
+	// for true deadlocks — the rank-to-rank wait-for cycle.  0 disables the
+	// watchdog.  See docs/ROBUSTNESS.md for choosing a value.
+	HangTimeout time.Duration
+	// Deadline aborts the run outright after a wall-clock duration,
+	// regardless of progress.  0 means no deadline.  Note that the abort is
+	// cooperative: a rank spinning in pure application compute (never
+	// re-entering the runtime) cannot be unwound and will be reported as
+	// running.
+	Deadline time.Duration
 }
 
 // Run launches a Pure program: main runs once per rank, concurrently.
@@ -183,8 +203,38 @@ func coreConfig(cfg Config) core.Config {
 		OwnerSteals:    cfg.OwnerSteals,
 		Trace:          cfg.Trace,
 		Metrics:        cfg.Metrics,
+		HangTimeout:    cfg.HangTimeout,
+		Deadline:       cfg.Deadline,
 	}
 }
+
+// RunError is the structured error Run returns when the runtime aborts
+// instead of completing (a rank panicked or called Abort, the watchdog
+// diagnosed a deadlock or stall, the deadline expired, or a remote send
+// exhausted its retry budget).  Inspect it with errors.As.
+type RunError = core.RunError
+
+// RankFailure names one failed rank inside a RunError.
+type RankFailure = core.RankFailure
+
+// BlockedRank is a surviving rank the abort unwound mid-wait.
+type BlockedRank = core.BlockedRank
+
+// WaitRecord describes what a blocked rank was waiting on.
+type WaitRecord = core.WaitRecord
+
+// WaitKind classifies a WaitRecord.
+type WaitKind = core.WaitKind
+
+// RunError causes.
+const (
+	CausePanic    = core.CausePanic
+	CauseAbort    = core.CauseAbort
+	CauseDeadlock = core.CauseDeadlock
+	CauseStall    = core.CauseStall
+	CauseDeadline = core.CauseDeadline
+	CauseNetDead  = core.CauseNetDead
+)
 
 // Rank is one rank's handle on the runtime.  Handles are not shareable
 // between goroutines.
@@ -207,6 +257,11 @@ func (r *Rank) World() *Comm { return r.world }
 
 // StealStats reports the rank's lifetime (steal attempts, chunks stolen).
 func (r *Rank) StealStats() (attempts, stolen int64) { return r.r.StealStats() }
+
+// Abort terminates the whole run from this rank (the analogue of MPI_Abort):
+// every rank blocked in the runtime unwinds, and Run returns a *RunError
+// naming this rank and err as the cause.  Abort does not return.
+func (r *Rank) Abort(err error) { r.r.Abort(err) }
 
 // Metrics returns the run's metrics registry (Config.Metrics), or nil when
 // metrics are disabled.  Ranks may snapshot or extend it mid-run.

@@ -1,10 +1,14 @@
 package pure
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func init() {
@@ -357,5 +361,85 @@ func TestReportCountsRemoteSends(t *testing.T) {
 	}
 	if rep.Total.SendsRemote != 1 || rep.Total.RecvsRemote != 1 {
 		t.Errorf("remote counters: %d/%d", rep.Total.SendsRemote, rep.Total.RecvsRemote)
+	}
+}
+
+func TestDeadlockDiagnosisFromPublicAPI(t *testing.T) {
+	// A 4-rank receive ring with no senders: Run must return a *RunError
+	// naming the wait-for cycle instead of hanging.
+	const n = 4
+	err := Run(Config{NRanks: n, HangTimeout: 150 * time.Millisecond}, func(r *Rank) {
+		buf := make([]byte, 8)
+		r.World().Recv(buf, (r.ID()+n-1)%n, 0)
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %T: %v", err, err)
+	}
+	if re.Cause != CauseDeadlock {
+		t.Fatalf("cause = %q, want %q", re.Cause, CauseDeadlock)
+	}
+	if len(re.Cycle) != n {
+		t.Fatalf("cycle = %v, want all %d ranks", re.Cycle, n)
+	}
+	if !strings.Contains(err.Error(), "wait-for cycle") {
+		t.Fatalf("error text missing cycle diagnosis:\n%v", err)
+	}
+}
+
+func TestAbortFromPublicAPI(t *testing.T) {
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Abort(errors.New("bad input deck"))
+		}
+		r.World().Barrier()
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %T: %v", err, err)
+	}
+	if re.Cause != CauseAbort || len(re.Failures) != 1 || re.Failures[0].Rank != 0 {
+		t.Fatalf("RunError = %+v", re)
+	}
+}
+
+func TestFaultInjectionFromPublicAPI(t *testing.T) {
+	// Cross-node traffic over a 10%-lossy wire must still deliver exact
+	// results via the runtime's ack/retransmit layer.
+	cfg := Config{
+		NRanks:       2,
+		Spec:         Spec{Nodes: 2, SocketsPerNode: 1, CoresPerSocket: 2, ThreadsPerCore: 1},
+		RanksPerNode: 1,
+		Net:          NetConfig{LatencyNs: 200, BytesPerNs: 10, TimeScale: 10},
+		HangTimeout:  10 * time.Second,
+		Metrics:      NewMetrics(),
+	}
+	cfg.Net.Faults = Faults{Seed: 11, DropProb: 0.10, RetryBackoffNs: 20_000}
+	err := Run(cfg, func(r *Rank) {
+		w := r.World()
+		buf := make([]byte, 16)
+		for i := 0; i < 25; i++ {
+			if r.ID() == 0 {
+				buf[0] = byte(i)
+				w.Send(buf, 1, 0)
+			} else {
+				w.Recv(buf, 0, 0)
+				if buf[0] != byte(i) {
+					r.Abort(fmt.Errorf("message %d corrupted or lost", i))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retransmits int64
+	for _, c := range cfg.Metrics.Snapshot().Counters {
+		if c.Name == "pure_net_retransmits_total" {
+			retransmits = c.Value
+		}
+	}
+	if retransmits == 0 {
+		t.Fatal("10% drops but zero retransmits recorded")
 	}
 }

@@ -18,4 +18,9 @@ go test ./...
 echo "== go test -race (concurrent core packages)"
 go test -race ./internal/queue ./internal/collective ./internal/obs
 
+echo "== chaos suite (watchdog/abort/fault-injection under -race)"
+go test -race -count=1 \
+    -run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection' \
+    ./internal/core ./internal/ssw ./pure
+
 echo "verify: OK"
