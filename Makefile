@@ -9,7 +9,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/queue ./internal/collective ./internal/obs
+	go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma
 
 # The robustness suite under the race detector: watchdog/abort containment
 # plus the fault-injection (drop/dup/reorder) chaos tests across several
@@ -17,7 +17,7 @@ race:
 # stay CI-friendly on a single CPU.
 chaos:
 	go test -race -count=1 \
-		-run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection' \
+		-run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection|TestRMA' \
 		./internal/core ./internal/ssw ./pure
 
 # The full gate: build + vet + tests + race detector on the lock-free

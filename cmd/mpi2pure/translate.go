@@ -10,7 +10,12 @@
 //   - mpibase.Run/Config/Proc become pure.Run/Config/Rank;
 //   - Config field EagerMax becomes SmallMsgMax;
 //   - messaging, collective, communicator and typed-helper calls keep their
-//     names (the APIs are deliberately aligned, as Pure's are with MPI's).
+//     names (the APIs are deliberately aligned, as Pure's are with MPI's);
+//   - MPI-style one-sided calls collapse onto the pure RMA API:
+//     MPI_Win_create(comm, buf) becomes comm.WinCreate(buf),
+//     MPI_Put(win, data, target, off) becomes win.Put(data, target, off),
+//     MPI_Get(win, dest, target, off) becomes win.Get(dest, target, off),
+//     and MPI_Win_fence(win) becomes win.Fence().
 //
 // Usage:
 //
@@ -44,6 +49,20 @@ var renamedFields = map[string]string{
 	"EagerMax": "SmallMsgMax",
 }
 
+// rmaCalls maps MPI-style one-sided free functions to the pure method the
+// call collapses onto; the first argument becomes the receiver.  minArgs is
+// the argument count including the receiver (MPI_Put/MPI_Get take exactly
+// four, the rest exactly their receiver + payload).
+var rmaCalls = map[string]struct {
+	method string
+	nargs  int
+}{
+	"MPI_Win_create": {"WinCreate", 2}, // (comm, buf)
+	"MPI_Put":        {"Put", 4},       // (win, data, target, off)
+	"MPI_Get":        {"Get", 4},       // (win, dest, target, off)
+	"MPI_Win_fence":  {"Fence", 1},     // (win)
+}
+
 // Translate rewrites one source file's bytes.
 func Translate(filename string, src []byte) ([]byte, []string, error) {
 	fset := token.NewFileSet()
@@ -74,6 +93,25 @@ func Translate(filename string, src []byte) ([]byte, []string, error) {
 	inConfigLit := map[*ast.KeyValueExpr]bool{}
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch node := n.(type) {
+		case *ast.CallExpr:
+			// MPI-style one-sided free functions become method calls on
+			// their first argument: MPI_Put(win, ...) -> win.Put(...).
+			id, ok := node.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			rw, ok := rmaCalls[id.Name]
+			if !ok {
+				return true
+			}
+			if len(node.Args) != rw.nargs {
+				warnings = append(warnings,
+					fmt.Sprintf("%s: %s expects %d args, got %d; left untranslated",
+						fset.Position(node.Pos()), id.Name, rw.nargs, len(node.Args)))
+				return true
+			}
+			node.Fun = &ast.SelectorExpr{X: node.Args[0], Sel: ast.NewIdent(rw.method)}
+			node.Args = node.Args[1:]
 		case *ast.CompositeLit:
 			// Mark mpibase.Config{...} literal keys for field renaming.
 			if sel, ok := node.Type.(*ast.SelectorExpr); ok {

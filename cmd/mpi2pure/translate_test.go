@@ -115,3 +115,81 @@ func TestTranslateRejectsNonMPIFile(t *testing.T) {
 		t.Error("unparseable file should be rejected")
 	}
 }
+
+const rmaSample = `package main
+
+import "repro/mpibase"
+
+func main() {
+	err := mpibase.Run(mpibase.Config{NRanks: 2}, func(p *mpibase.Proc) {
+		c := p.World()
+		win := MPI_Win_create(c, make([]byte, 128))
+		MPI_Win_fence(win)
+		if p.ID() == 0 {
+			MPI_Put(win, make([]byte, 64), 1, 0)
+		}
+		MPI_Win_fence(win)
+		if p.ID() == 1 {
+			dest := make([]byte, 64)
+			MPI_Get(win, dest, 0, 0)
+		}
+		MPI_Win_fence(win)
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+`
+
+// TestTranslateRMACalls checks the MPI-style one-sided calls collapse onto
+// the pure RMA methods: the first argument becomes the receiver.
+func TestTranslateRMACalls(t *testing.T) {
+	out, warnings, err := Translate("rma.go", []byte(rmaSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", warnings)
+	}
+	got := string(out)
+	for _, want := range []string{
+		"win := c.WinCreate(make([]byte, 128))",
+		"win.Fence()",
+		"win.Put(make([]byte, 64), 1, 0)",
+		"win.Get(dest, 0, 0)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("translated output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "MPI_") {
+		t.Errorf("untranslated MPI_ call remains:\n%s", got)
+	}
+	// The result must still parse.
+	if _, err := parser.ParseFile(token.NewFileSet(), "rma.go", out, 0); err != nil {
+		t.Fatalf("translated output does not parse: %v", err)
+	}
+}
+
+// TestTranslateRMAWrongArity leaves malformed one-sided calls untouched and
+// warns instead of producing a broken rewrite.
+func TestTranslateRMAWrongArity(t *testing.T) {
+	src := `package main
+
+import "repro/mpibase"
+
+func f(c *mpibase.Comm) {
+	MPI_Put(c, nil)
+}
+`
+	out, warnings, err := Translate("bad.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "MPI_Put expects 4 args") {
+		t.Errorf("warnings = %v, want one arity warning", warnings)
+	}
+	if !strings.Contains(string(out), "MPI_Put(c, nil)") {
+		t.Errorf("malformed call was rewritten:\n%s", out)
+	}
+}

@@ -10,7 +10,7 @@
 //	purebench -metrics m.prom # ... and/or a Prometheus metrics snapshot
 //
 // Experiment ids: sec2 fig4 fig5a fig5b fig5c fig5d fig6 fig6real fig7a
-// fig7b fig7breal fig7c appA appC ablation-pbq.
+// fig7b fig7breal fig7c appA appC ablation-pbq rma.
 //
 // -trace and -metrics run the §2 stencil workload under the runtime
 // observability layer instead of the experiment tables: the Chrome trace

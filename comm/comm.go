@@ -121,6 +121,14 @@ func RecvFloat64s(b Backend, vals []float64, src, tag int) {
 	codec.GetFloat64s(vals[:n/8], buf[:n])
 }
 
+// SendrecvFloat64s pairs a float64-vector send and receive without deadlock
+// risk (the typed convenience over Backend.Sendrecv).
+func SendrecvFloat64s(b Backend, send []float64, dst, sendTag int, recv []float64, src, recvTag int) {
+	buf := make([]byte, 8*len(recv))
+	n := b.Sendrecv(codec.Float64Bytes(send), dst, sendTag, buf, src, recvTag)
+	codec.GetFloat64s(recv[:n/8], buf[:n])
+}
+
 // ---- Pure adapter ----
 
 type pureBackend struct {
@@ -158,6 +166,9 @@ func (b *pureBackend) Irecv(buf []byte, src, tag int) Request { return b.c.Irecv
 func (b *pureBackend) Wait(req Request) int                   { return b.c.Wait(req.(*pure.Request)) }
 func (b *pureBackend) Waitall(reqs []Request) {
 	for _, q := range reqs {
+		if q == nil {
+			continue // MPI_REQUEST_NULL slot
+		}
 		b.c.Wait(q.(*pure.Request))
 	}
 }
@@ -218,6 +229,9 @@ func (b *mpiBackend) Irecv(buf []byte, src, tag int) Request { return b.c.Irecv(
 func (b *mpiBackend) Wait(req Request) int                   { return b.c.Wait(req.(*mpibase.Request)) }
 func (b *mpiBackend) Waitall(reqs []Request) {
 	for _, q := range reqs {
+		if q == nil {
+			continue // MPI_REQUEST_NULL slot
+		}
 		b.c.Wait(q.(*mpibase.Request))
 	}
 }

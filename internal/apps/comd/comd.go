@@ -479,17 +479,14 @@ func (s *sim) exchangeAxis(axis int) {
 		return
 	}
 	// Exchange sizes first (the payload sizes vary with atom counts), then
-	// payloads; nonblocking receives avoid head-to-head deadlock.
+	// payloads.  Each direction is one Sendrecv shift: everybody sends
+	// toward the low neighbour while receiving from the high one, then the
+	// reverse — uniform cyclic shifts cannot deadlock.
 	recvLoLen, recvHiLen := s.exchangeSizes(len(sendLo), len(sendHi), loRank, hiRank, baseTag)
 	recvLo := make([]byte, recvLoLen)
 	recvHi := make([]byte, recvHiLen)
-	reqs := []comm.Request{
-		s.b.Irecv(recvLo, loRank, baseTag+2),
-		s.b.Irecv(recvHi, hiRank, baseTag+3),
-	}
-	s.b.Send(sendLo, loRank, baseTag+3) // our low face is their high ghost
-	s.b.Send(sendHi, hiRank, baseTag+2)
-	s.b.Waitall(reqs)
+	s.b.Sendrecv(sendLo, loRank, baseTag+3, recvHi, hiRank, baseTag+3) // our low face is their high ghost
+	s.b.Sendrecv(sendHi, hiRank, baseTag+2, recvLo, loRank, baseTag+2)
 	s.unpackPlane(s.plane(axis, 0), recvLo, loShift)
 	s.unpackPlane(s.plane(axis, hiAt+1), recvHi, hiShift)
 }
@@ -512,13 +509,10 @@ func (s *sim) exchangeSizes(loLen, hiLen, loRank, hiRank, baseTag int) (int, int
 	binary.LittleEndian.PutUint64(hi8[:], uint64(hiLen))
 	inLo := make([]byte, 8)
 	inHi := make([]byte, 8)
-	reqs := []comm.Request{
-		s.b.Irecv(inLo, loRank, baseTag),
-		s.b.Irecv(inHi, hiRank, baseTag+1),
-	}
-	s.b.Send(lo8[:], loRank, baseTag+1)
-	s.b.Send(hi8[:], hiRank, baseTag)
-	s.b.Waitall(reqs)
+	// Two shift Sendrecvs (see exchangeAxis): low-bound sends pair with
+	// high-bound receives on the same tag, and vice versa.
+	s.b.Sendrecv(lo8[:], loRank, baseTag+1, inHi, hiRank, baseTag+1)
+	s.b.Sendrecv(hi8[:], hiRank, baseTag, inLo, loRank, baseTag)
 	return int(binary.LittleEndian.Uint64(inLo)), int(binary.LittleEndian.Uint64(inHi))
 }
 

@@ -1,0 +1,121 @@
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"repro/pure"
+)
+
+// RunRMA is the stencil's one-sided halo exchange: instead of the
+// send/receive pairs in Run, each rank Puts its edge elements directly into
+// its neighbours' window memory and flags them with Notify — the paper's
+// point that within a node "message passing" can collapse to a store into
+// shared memory plus a flag update.  The numerical trajectory is identical
+// to Run's, so the two variants must produce the same checksum.
+//
+// Window layout per rank (two float64 ghost cells):
+//
+//	[0:8)  ghost from the low neighbour  (its temp[arr-1])
+//	[8:16) ghost from the high neighbour (its temp[0])
+//
+// Notify slots: 0 = low-side ghost written, 1 = high-side ghost written,
+// 2 = high neighbour consumed our right-edge put, 3 = low neighbour
+// consumed our left-edge put.  The ack slots (2, 3) gate the next
+// iteration's overwrite of a ghost the consumer may not have read yet.
+func RunRMA(r *pure.Rank, p Params) (Result, error) {
+	if p.ArrSize < 4 || p.Iters <= 0 {
+		return Result{}, fmt.Errorf("stencil: bad params %+v", p)
+	}
+	if p.WorkScale <= 0 {
+		p.WorkScale = 1
+	}
+	chunks := p.TaskChunks
+	if chunks <= 0 {
+		chunks = 32
+	}
+	c := r.World()
+	rank, n := c.Rank(), c.Size()
+	arr := p.ArrSize
+	a := make([]float64, arr)
+	for i := range a {
+		a[i] = math.Sin(float64(rank*arr+i)) + 1.5
+	}
+	temp := make([]float64, arr)
+
+	type iterArgs struct{ iter int }
+	var task *pure.Task
+	runChunkRange := func(lo, hi int64, iter int) {
+		for i := lo; i < hi; i++ {
+			temp[i] = randomWork(a[i], workReps(rank, iter, int(i), p.WorkScale))
+		}
+	}
+	if p.UseTask {
+		task = r.NewTask(chunks, func(start, end int64, extra any) {
+			lo, hi := task.AlignedIdxRange(int64(arr), 8, start, end)
+			runChunkRange(lo, hi, extra.(*iterArgs).iter)
+		})
+	}
+
+	const (
+		ghostLo   = 0 // byte offset of the low-side ghost
+		ghostHi   = 8
+		slotLo    = 0 // data-ready: low-side ghost written
+		slotHi    = 1 // data-ready: high-side ghost written
+		slotAckHi = 2 // ack: our put into the high neighbour was consumed
+		slotAckLo = 3 // ack: our put into the low neighbour was consumed
+	)
+	win := c.WinCreate(make([]byte, 16))
+	ghost := make([]float64, 1)
+	edge := make([]float64, 1)
+	for it := 0; it < p.Iters; it++ {
+		if task != nil {
+			task.Execute(&iterArgs{iter: it})
+		} else {
+			runChunkRange(0, int64(arr), it)
+		}
+		for i := 1; i < arr-1; i++ {
+			a[i] = (temp[i-1] + temp[i] + temp[i+1]) / 3.0
+		}
+		// Wait for last iteration's ghosts to be consumed before
+		// overwriting them.
+		if it > 0 {
+			if rank < n-1 {
+				win.NotifyWait(slotAckHi, 1)
+			}
+			if rank > 0 {
+				win.NotifyWait(slotAckLo, 1)
+			}
+		}
+		// Put edges into the neighbours' ghost cells and flag them.
+		if rank < n-1 {
+			edge[0] = temp[arr-1]
+			win.Put(pure.Float64Bytes(edge), rank+1, ghostLo)
+			win.Notify(rank+1, slotLo)
+		}
+		if rank > 0 {
+			edge[0] = temp[0]
+			win.Put(pure.Float64Bytes(edge), rank-1, ghostHi)
+			win.Notify(rank-1, slotHi)
+		}
+		// Consume our ghosts, update the boundary points, ack the writers.
+		if rank > 0 {
+			win.NotifyWait(slotLo, 1)
+			pure.GetFloat64s(ghost, win.Buffer()[ghostLo:ghostLo+8])
+			a[0] = (ghost[0] + temp[0] + temp[1]) / 3.0
+			win.Notify(rank-1, slotAckHi)
+		}
+		if rank < n-1 {
+			win.NotifyWait(slotHi, 1)
+			pure.GetFloat64s(ghost, win.Buffer()[ghostHi:ghostHi+8])
+			a[arr-1] = (temp[arr-2] + temp[arr-1] + ghost[0]) / 3.0
+			win.Notify(rank+1, slotAckLo)
+		}
+	}
+	win.Free()
+	sum := 0.0
+	for _, v := range a {
+		sum += v
+	}
+	return Result{Checksum: c.AllreduceFloat64(sum, pure.Sum), Iters: p.Iters}, nil
+}

@@ -111,14 +111,15 @@ func Run(b comm.Backend, p Params) (Result, error) {
 		for i := 1; i < arr-1; i++ {
 			a[i] = (temp[i-1] + temp[i] + temp[i+1]) / 3.0
 		}
+		// Each edge exchange is one Sendrecv with the matching neighbour.
+		// Low side first everywhere: rank 0 has no low neighbour, so the
+		// chain unwinds without deadlock.
 		if rank > 0 {
-			comm.SendFloat64s(b, temp[:1], rank-1, 0)
-			comm.RecvFloat64s(b, one, rank-1, 0)
+			comm.SendrecvFloat64s(b, temp[:1], rank-1, 0, one, rank-1, 0)
 			a[0] = (one[0] + temp[0] + temp[1]) / 3.0
 		}
 		if rank < n-1 {
-			comm.SendFloat64s(b, temp[arr-1:], rank+1, 0)
-			comm.RecvFloat64s(b, one, rank+1, 0)
+			comm.SendrecvFloat64s(b, temp[arr-1:], rank+1, 0, one, rank+1, 0)
 			a[arr-1] = (temp[arr-2] + temp[arr-1] + one[0]) / 3.0
 		}
 		_ = buf

@@ -121,3 +121,40 @@ func TestRandomWorkValueIndependentOfReps(t *testing.T) {
 		t.Fatalf("randomWork value depends on reps: %v vs %v", a, b)
 	}
 }
+
+func runRMA(t *testing.T, nranks int, p Params) Result {
+	t.Helper()
+	var res Result
+	if err := pure.Run(pure.Config{NRanks: nranks}, func(r *pure.Rank) {
+		rr, err := RunRMA(r, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r.ID() == 0 {
+			res = rr
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRMAMatchesMessages pins the one-sided halo exchange to the
+// message-passing variant: same trajectory, bit-identical checksum.
+func TestRMAMatchesMessages(t *testing.T) {
+	p := Params{ArrSize: 128, Iters: 6, WorkScale: 4}
+	msg := runPure(t, 4, p)
+	rma := runRMA(t, 4, p)
+	if msg.Checksum != rma.Checksum {
+		t.Fatalf("RMA checksum %v != message checksum %v", rma.Checksum, msg.Checksum)
+	}
+	pt := p
+	pt.UseTask = true
+	if tr := runRMA(t, 4, pt); tr.Checksum != msg.Checksum {
+		t.Fatalf("tasked RMA checksum %v != message checksum %v", tr.Checksum, msg.Checksum)
+	}
+	if single := runRMA(t, 1, p); single.Checksum != runPure(t, 1, p).Checksum {
+		t.Fatalf("single-rank RMA diverged")
+	}
+}

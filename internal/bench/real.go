@@ -315,6 +315,7 @@ func All(quick bool) []Table {
 		AppAExtraCollectives(quick),
 		AppCThreshold(quick),
 		AblationPBQSlots(quick),
+		RMAHalo(quick),
 	}
 }
 
@@ -337,6 +338,7 @@ func ByID(id string) func(bool) Table {
 		"appA":         AppAExtraCollectives,
 		"appC":         AppCThreshold,
 		"ablation-pbq": AblationPBQSlots,
+		"rma":          RMAHalo,
 	}
 	return m[id]
 }

@@ -37,11 +37,16 @@ const (
 	WaitRemoteAck           // inter-node reliable send: waiting for the link-layer ack
 	WaitCollective          // inside a collective phase (SPTD / PartitionedReducer / leader tree)
 	WaitTask                // Task.Execute straggler wait (stolen chunks still running)
+	WaitRmaRemote           // one-sided remote op: waiting for target-side application (or a Get reply)
+	WaitRmaFence            // window fence: waiting for every member's epoch flag
+	WaitRmaPSCW             // PSCW start/wait: waiting for a peer's post/complete flag
+	WaitRmaNotify           // NotifyWait: waiting for a window notification counter
 )
 
 var waitKindNames = [...]string{
 	"none", "p2p-recv", "p2p-send", "rendezvous-recv", "rendezvous-send",
 	"remote-recv", "remote-send-ack", "collective", "task",
+	"rma-remote", "rma-fence", "rma-pscw", "rma-notify",
 }
 
 // String returns the kind's stable name (used in diagnostics and exports).
@@ -56,7 +61,8 @@ func (k WaitKind) String() string {
 // (the edges of the wait-for graph).
 func (k WaitKind) waitsOnPeer() bool {
 	switch k {
-	case WaitP2PRecv, WaitP2PSend, WaitRvzRecv, WaitRvzSend, WaitRemoteRecv, WaitRemoteAck:
+	case WaitP2PRecv, WaitP2PSend, WaitRvzRecv, WaitRvzSend, WaitRemoteRecv, WaitRemoteAck,
+		WaitRmaRemote, WaitRmaPSCW:
 		return true
 	}
 	return false

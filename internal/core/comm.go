@@ -127,6 +127,7 @@ type Comm struct {
 	sh         *commShared
 	myRank     int // rank within the communicator
 	splitEpoch uint64
+	winEpoch   uint64 // WinCreate calls on this handle (window registry sequence)
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -247,11 +248,21 @@ func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
 }
 
 // Wait blocks until req completes and returns the transferred byte count.
-func (c *Comm) Wait(req *Request) int { return c.r.waitReq(req) }
+// A nil request is a no-op (MPI_REQUEST_NULL).
+func (c *Comm) Wait(req *Request) int {
+	if req == nil {
+		return 0
+	}
+	return c.r.waitReq(req)
+}
 
-// Waitall completes every request.
+// Waitall completes every request, skipping nil entries (the analogue of
+// MPI_REQUEST_NULL slots in an MPI_Waitall array).
 func (c *Comm) Waitall(reqs ...*Request) {
 	for _, q := range reqs {
+		if q == nil {
+			continue
+		}
 		c.r.waitReq(q)
 	}
 }

@@ -50,6 +50,19 @@ type metricSet struct {
 	netRetransmits    *obs.Counter
 	netRetryExhausted *obs.Counter
 	netDupsDropped    *obs.Counter
+
+	// One-sided (RMA) operations: posts and bytes by kind, fence epochs,
+	// notifications, frames shipped between nodes, and payload copies into
+	// window memory (an intra-node Put is exactly one copy — the metric the
+	// zero-copy tests assert on).
+	rmaPuts          *obs.Counter
+	rmaGets          *obs.Counter
+	rmaAccs          *obs.Counter
+	rmaFences        *obs.Counter
+	rmaNotifies      *obs.Counter
+	rmaBytes         *obs.Counter
+	rmaPutCopies     *obs.Counter
+	rmaRemotePackets *obs.Counter
 }
 
 func newMetricSet(reg *obs.Metrics) *metricSet {
@@ -84,6 +97,15 @@ func newMetricSet(reg *obs.Metrics) *metricSet {
 		netRetransmits:    reg.Counter("pure_net_retransmits_total"),
 		netRetryExhausted: reg.Counter("pure_net_retry_exhausted_total"),
 		netDupsDropped:    reg.Counter("pure_net_dups_discarded_total"),
+
+		rmaPuts:          reg.Counter("pure_rma_puts_total"),
+		rmaGets:          reg.Counter("pure_rma_gets_total"),
+		rmaAccs:          reg.Counter("pure_rma_accumulates_total"),
+		rmaFences:        reg.Counter("pure_rma_fences_total"),
+		rmaNotifies:      reg.Counter("pure_rma_notifies_total"),
+		rmaBytes:         reg.Counter("pure_rma_bytes_total"),
+		rmaPutCopies:     reg.Counter("pure_rma_put_copies_total"),
+		rmaRemotePackets: reg.Counter("pure_rma_remote_packets_total"),
 	}
 }
 

@@ -152,6 +152,8 @@ const (
 	reqRecvRvz
 	reqRemoteSend
 	reqRemoteRecv
+	reqRmaRemote // one-sided remote op: done when the target's applied watermark covers flowSeq
+	reqRmaGet    // one-sided get: done when the reply frame fills buf
 )
 
 // Request is an in-flight nonblocking operation (the analogue of
@@ -173,6 +175,11 @@ type Request struct {
 	dstNode  int       // destination node (for the NIC lock on retransmit)
 	attempts int       // transmit attempts so far
 	retryAt  time.Time // when the next retransmit is due
+
+	// One-sided (RMA) completion state: a remote Put/Accumulate/Notify is
+	// done once flow.applied covers flowSeq (the target applied the frame).
+	flow    *rmaFlow
+	flowSeq uint64
 }
 
 // Done reports whether the request has completed.  Completion only advances
@@ -317,6 +324,8 @@ func waitKindFor(k reqKind) WaitKind {
 		return WaitRemoteAck
 	case reqRemoteRecv:
 		return WaitRemoteRecv
+	case reqRmaRemote, reqRmaGet:
+		return WaitRmaRemote
 	}
 	return WaitNone
 }
@@ -349,6 +358,31 @@ func (r *Rank) waitReq(req *Request) int {
 				return true
 			}
 			r.progressRemoteRecv(req)
+			return req.done
+		})
+	case reqRmaRemote:
+		// Origin side of a remote one-sided op: drive our own frame
+		// retransmits and apply incoming frames (two origins putting at
+		// each other must each drain their inbox), then poll the target's
+		// applied watermark.
+		r.leafWait(func() bool {
+			if req.flow.applied.Load() >= req.flowSeq {
+				req.done = true
+				return true
+			}
+			r.rmaProgress()
+			if req.flow.applied.Load() >= req.flowSeq {
+				req.done = true
+			}
+			return req.done
+		})
+	case reqRmaGet:
+		// The reply frame arrives on our own inbox; rmaProgress fills buf.
+		r.leafWait(func() bool {
+			if req.done {
+				return true
+			}
+			r.rmaProgress()
 			return req.done
 		})
 	default:
@@ -471,15 +505,21 @@ func (r *Rank) progressRecv(ch *channel) {
 // NIC lock.  Fault-free fast path only; the reliable path goes through
 // transmitRemote.
 func (r *Rank) remoteSend(key chanKey, buf []byte) {
-	rc := r.getRemote(key)
 	cp := make([]byte, len(buf))
 	copy(cp, buf)
+	r.remoteSendOwned(key, cp)
+}
+
+// remoteSendOwned is remoteSend for a payload the caller hands over (a
+// freshly encoded RMA frame): no defensive copy.
+func (r *Rank) remoteSendOwned(key chanKey, buf []byte) {
+	rc := r.getRemote(key)
 	r.rt.net.Transfer(len(buf))
 	dstNode := r.rt.place.NodeOf(key.dst)
 	nic := &r.rt.nodes[dstNode].nic
 	nic.Lock()
 	rc.mu.lock()
-	rc.msgs = append(rc.msgs, netMsg{payload: cp})
+	rc.msgs = append(rc.msgs, netMsg{payload: buf})
 	rc.n.Add(1)
 	rc.mu.unlock()
 	nic.Unlock()
@@ -594,16 +634,12 @@ func (r *Rank) progressRemoteSend(req *Request) {
 	r.transmitRemote(req)
 }
 
-// progressRemoteRecv completes a remote receive if a message has arrived.
-func (r *Rank) progressRemoteRecv(req *Request) {
-	rc := req.rem
-	if rc.n.Load() == 0 {
-		return
-	}
+// tryPop dequeues the channel's head message, or reports none buffered.
+func (rc *remoteChannel) tryPop() ([]byte, bool) {
 	rc.mu.lock()
 	if len(rc.msgs) == 0 {
 		rc.mu.unlock()
-		return
+		return nil, false
 	}
 	msg := rc.msgs[0].payload
 	rc.msgs[0] = netMsg{}
@@ -613,6 +649,19 @@ func (r *Rank) progressRemoteRecv(req *Request) {
 	}
 	rc.n.Add(-1)
 	rc.mu.unlock()
+	return msg, true
+}
+
+// progressRemoteRecv completes a remote receive if a message has arrived.
+func (r *Rank) progressRemoteRecv(req *Request) {
+	rc := req.rem
+	if rc.n.Load() == 0 {
+		return
+	}
+	msg, ok := rc.tryPop()
+	if !ok {
+		return
+	}
 	if len(msg) > len(req.buf) {
 		panic(fmt.Sprintf("core: %d-byte message overflows %d-byte receive buffer", len(msg), len(req.buf)))
 	}

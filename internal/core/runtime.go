@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/rma"
 	"repro/internal/sched"
 	"repro/internal/ssw"
 	"repro/internal/topology"
@@ -202,6 +203,11 @@ type Runtime struct {
 	comms    sync.Map // splitKey -> *commShared
 	commIDs  atomic.Uint64
 
+	// One-sided communication: the window registry (keyed like the channel
+	// manager) and the remote RMA flows with their applied watermarks.
+	rmaReg   rma.Registry
+	rmaFlows sync.Map // chanKey -> *rmaFlow
+
 	world *commShared
 
 	// met holds the pre-resolved metric handles when cfg.Metrics is set
@@ -231,6 +237,18 @@ type Rank struct {
 	// paper's channels are persistent objects reused for the whole program.
 	chanCache map[chanKey]*channel
 	remCache  map[chanKey]*remoteChannel
+
+	// One-sided communication state, all owned by this rank's goroutine:
+	// incoming remote flows to drain, outstanding link-layer frame sends to
+	// drive, outstanding remote gets by request id, and the reentrancy
+	// guard that keeps frame application in flow order.
+	rmaIn         []*rmaInbox
+	rmaInSet      map[chanKey]bool
+	rmaFlowCache  map[chanKey]*rmaFlow
+	rmaLinks      []*Request
+	rmaGets       map[uint64]*Request
+	rmaGetSeq     uint64
+	inRmaProgress bool
 
 	// trace is this rank's single-writer event ring (nil when tracing is
 	// off); met is the runtime's shared metric set (nil when metrics are off).
@@ -464,7 +482,10 @@ func (rt *Runtime) newRank(id int) *Rank {
 	}
 	r.thief = rt.nodes[node].sched.NewThief(local)
 	r.attachObs()
-	r.wait = ssw.Waiter{Steal: r.thief, SpinBudget: rt.cfg.SpinBudget, Poison: rt.abortErr}
+	// Progress applies incoming one-sided operations at every SSW yield
+	// boundary, so a rank parked in any wait still exposes its windows and
+	// unblocks remote origins.
+	r.wait = ssw.Waiter{Steal: r.thief, SpinBudget: rt.cfg.SpinBudget, Poison: rt.abortErr, Progress: r.rmaProgress}
 	r.world = &Comm{r: r, sh: rt.world, myRank: id}
 	return r
 }

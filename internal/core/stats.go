@@ -30,6 +30,14 @@ type RankStats struct {
 	Scatters   int64
 	Splits     int64
 
+	// One-sided (RMA) operations posted by this rank.
+	RmaPuts        int64
+	RmaGets        int64
+	RmaAccumulates int64
+	RmaFences      int64
+	RmaNotifies    int64
+	RmaBytesPut    int64 // bytes moved by Put and Accumulate posts
+
 	// Tasks.
 	TasksExecuted int64
 	ChunksOwned   int64
@@ -57,6 +65,12 @@ func (s *RankStats) Add(o RankStats) {
 	s.Gathers += o.Gathers
 	s.Scatters += o.Scatters
 	s.Splits += o.Splits
+	s.RmaPuts += o.RmaPuts
+	s.RmaGets += o.RmaGets
+	s.RmaAccumulates += o.RmaAccumulates
+	s.RmaFences += o.RmaFences
+	s.RmaNotifies += o.RmaNotifies
+	s.RmaBytesPut += o.RmaBytesPut
 	s.TasksExecuted += o.TasksExecuted
 	s.ChunksOwned += o.ChunksOwned
 	s.ChunksStolen += o.ChunksStolen

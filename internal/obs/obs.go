@@ -65,6 +65,15 @@ const (
 	// poisoning (watchdog, Abort, panic containment); Peer is the peer the
 	// rank was blocked on (-1 if none) and Arg the numeric wait kind.
 	KAbortUnwind
+	// KRmaPut is a one-sided Put post; Peer is the target, Arg = bytes.
+	KRmaPut
+	// KRmaGet is a one-sided Get post; Peer is the target, Arg = bytes.
+	KRmaGet
+	// KRmaAcc is a one-sided Accumulate post; Peer is the target, Arg = bytes.
+	KRmaAcc
+	// KRmaFence is one rank's fence call; Dur is the time spent completing
+	// outstanding operations and waiting for the epoch, Arg the fence round.
+	KRmaFence
 
 	kindCount
 )
@@ -75,6 +84,7 @@ var kindNames = [kindCount]string{
 	"PBQStall", "RendezvousHandoff",
 	"Barrier", "Reduce", "Allreduce", "Bcast",
 	"StealSuccess", "TaskExecute", "AbortUnwind",
+	"RmaPut", "RmaGet", "RmaAcc", "RmaFence",
 }
 
 // String returns the kind's stable name (used in exports).
@@ -97,6 +107,8 @@ func (k Kind) Category() string {
 		return "sched"
 	case KAbortUnwind:
 		return "runtime"
+	case KRmaPut, KRmaGet, KRmaAcc, KRmaFence:
+		return "rma"
 	default:
 		return "p2p"
 	}

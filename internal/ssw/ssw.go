@@ -49,6 +49,13 @@ type Waiter struct {
 	// rank: this is how a poisoned runtime reclaims ranks parked in any of
 	// the SSW-Loop's "dozens of places" instead of hanging forever.
 	Poison func() error
+	// Progress, if non-nil, runs at every yield boundary after the poison
+	// check.  The runtime uses it to apply incoming one-sided (RMA)
+	// operations targeting the blocked rank, so a rank parked in any wait —
+	// a receive, a collective, a fence — still exposes its windows and
+	// advances remote origins (the paper's runtime makes the same promise
+	// for message progress via its helper threads).
+	Progress func()
 }
 
 // Wait blocks until cond returns true, stealing task chunks while it waits.
@@ -76,6 +83,9 @@ func (w *Waiter) Wait(cond func() bool) {
 				if err := w.Poison(); err != nil {
 					panic(AbortPanic{Err: err})
 				}
+			}
+			if w.Progress != nil {
+				w.Progress()
 			}
 			runtime.Gosched()
 			spins = 0

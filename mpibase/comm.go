@@ -92,13 +92,22 @@ func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
 	return c.p.irecv(c.sh.id, buf, c.sh.members[src], tag)
 }
 
-// Wait blocks until req completes.
-func (c *Comm) Wait(req *Request) int { return c.p.waitReq(req) }
+// Wait blocks until req completes.  A nil request is a no-op
+// (MPI_REQUEST_NULL).
+func (c *Comm) Wait(req *Request) int {
+	if req == nil {
+		return 0
+	}
+	return c.p.waitReq(req)
+}
 
-// Waitall completes every request.
+// Waitall completes every request, skipping nil entries (the analogue of
+// MPI_REQUEST_NULL slots in an MPI_Waitall array).
 func (c *Comm) Waitall(reqs ...*Request) {
 	for _, r := range reqs {
-		c.p.waitReq(r)
+		if r != nil {
+			c.p.waitReq(r)
+		}
 	}
 }
 

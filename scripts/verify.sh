@@ -16,11 +16,14 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent core packages)"
-go test -race ./internal/queue ./internal/collective ./internal/obs
+go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma
 
 echo "== chaos suite (watchdog/abort/fault-injection under -race)"
 go test -race -count=1 \
-    -run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection' \
+    -run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection|TestRMA' \
     ./internal/core ./internal/ssw ./pure
+
+echo "== purebench RMA smoke (one-sided vs two-sided halo, quick scale)"
+go run ./cmd/purebench -quick -exp rma
 
 echo "verify: OK"
