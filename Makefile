@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test race chaos verify bench
+.PHONY: build test race chaos check fuzz verify bench bench-json
 
 build:
 	go build ./...
@@ -9,7 +9,22 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma
+	go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
+		./internal/sched ./internal/netsim ./internal/ssw ./internal/core
+
+# The deterministic schedule explorer: model tests for the lock-free
+# protocols (PBQ/ring FIFO refinement, SPTD no-lost-contribution, RMA
+# epochs, work-stealing exactly-once) over PCT seeds plus bounded
+# exhaustive runs.  Override the seed count with PURE_CHECK_SEEDS=n;
+# replay one failing schedule with PURE_CHECK_SEED=n.
+check:
+	go test -tags purecheck -count=1 ./internal/check
+
+# Short local fuzz pass over the wire-format decoders (CI runs the same
+# targets with a longer budget).
+fuzz:
+	go test -count=1 -fuzz FuzzFrameDecode -fuzztime 30s ./internal/rma
+	go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/codec
 
 # The robustness suite under the race detector: watchdog/abort containment
 # plus the fault-injection (drop/dup/reorder) chaos tests across several
@@ -27,3 +42,8 @@ verify:
 
 bench:
 	go test -run XXX -bench . -benchtime=1s ./internal/core
+
+# Headline microbenchmarks as JSON (BENCH_pr4.json) for cross-commit
+# comparison.
+bench-json:
+	sh scripts/bench_json.sh

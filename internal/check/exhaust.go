@@ -1,0 +1,120 @@
+package check
+
+import "fmt"
+
+// Bounded exhaustive exploration: depth-first enumeration of every
+// scheduling choice sequence, in lexicographic order, for small
+// configurations (2-3 threads, a few operations each).  Each schedule
+// re-executes a fresh workload following a recorded choice prefix and then
+// first-runnable choices, noting where alternatives existed; backtracking
+// increments the deepest un-exhausted choice.  This is stateless model
+// checking in the CHESS style (no partial-order reduction — the schedpoint
+// density is low enough that small configs stay in the tens of thousands of
+// schedules).
+//
+// Exhaustive mode probes every parked condition at each step to enumerate
+// the runnable set, so conditions must be pure (no TryLock-style acquire
+// side effects).  Every fence/sequence-flag poll in this repository is a
+// pure atomic load; the RMA Accumulate spinlock is the one impure wait and
+// is exercised under PCT instead.
+
+// exhaustChooser follows `prefix` and then always picks the first runnable
+// thread, recording the runnable-set size at every step.
+type exhaustChooser struct {
+	prefix  []int // choice index (into the runnable set) per step
+	chosen  []int // choice index actually taken, per step
+	options []int // runnable-set size per step
+}
+
+func (c *exhaustChooser) pick(st *schedState) int {
+	var runnable []int
+	for i := 0; i < st.N(); i++ {
+		if st.Finished(i) {
+			continue
+		}
+		if st.Blocked(i) && !st.Probe(i) {
+			continue
+		}
+		runnable = append(runnable, i)
+	}
+	if len(runnable) == 0 {
+		return -1
+	}
+	step := len(c.chosen)
+	choice := 0
+	if step < len(c.prefix) {
+		choice = c.prefix[step]
+		if choice >= len(runnable) {
+			// The prefix no longer matches (can only happen on
+			// nondeterministic workloads, which violate the Threads
+			// contract); fall back to the last runnable.
+			choice = len(runnable) - 1
+		}
+	}
+	c.chosen = append(c.chosen, choice)
+	c.options = append(c.options, len(runnable))
+	return runnable[choice]
+}
+
+// ExhaustReport summarizes a bounded exhaustive exploration.
+type ExhaustReport struct {
+	Schedules int  // schedules executed
+	Complete  bool // false when the schedule budget was exhausted first
+	Failed    bool
+	Result    Result // the failing schedule's result (when Failed)
+	Choices   []int  // the failing schedule's choice sequence (replayable)
+}
+
+// Error renders the failure with its replay vector.
+func (r ExhaustReport) Error() string {
+	if !r.Failed {
+		return ""
+	}
+	return fmt.Sprintf("schedule %d failed after %d steps: %v\nreplay choices: %v\nschedule tail:\n%s",
+		r.Schedules, r.Result.Steps, r.Result.Err, r.Choices, r.Result.TraceString(40))
+}
+
+// Exhaust explores every schedule of mk-built workloads, up to maxSchedules
+// (0 means a default of 200000) with maxSteps per schedule, stopping at the
+// first failure.
+func Exhaust(maxSchedules, maxSteps int, mk func() Threads) ExhaustReport {
+	if maxSchedules <= 0 {
+		maxSchedules = 200000
+	}
+	rep := ExhaustReport{}
+	prefix := []int(nil)
+	for {
+		if rep.Schedules >= maxSchedules {
+			return rep
+		}
+		c := &exhaustChooser{prefix: prefix}
+		res := run(c, mk(), maxSteps)
+		rep.Schedules++
+		if res.Failed() {
+			rep.Failed = true
+			rep.Result = res
+			rep.Choices = append([]int(nil), c.chosen...)
+			return rep
+		}
+		// Backtrack: bump the deepest choice that still has alternatives.
+		next := -1
+		for i := len(c.chosen) - 1; i >= 0; i-- {
+			if c.chosen[i]+1 < c.options[i] {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			rep.Complete = true
+			return rep
+		}
+		prefix = append(append([]int(nil), c.chosen[:next]...), c.chosen[next]+1)
+	}
+}
+
+// ReplayChoices reruns one exact schedule from an Exhaust failure's choice
+// vector (committed in regression tests).
+func ReplayChoices(choices []int, maxSteps int, th Threads) Result {
+	c := &exhaustChooser{prefix: choices}
+	return run(c, th, maxSteps)
+}

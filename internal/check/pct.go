@@ -1,0 +1,149 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PCT (probabilistic concurrency testing): every thread gets a distinct
+// random priority; at each step the highest-priority runnable thread runs.
+// d-1 priority-change points at random step indices demote the running
+// thread below every base priority, which guarantees that any bug of "depth"
+// d (one requiring d ordering constraints) is hit with probability at least
+// 1/(n·k^(d-1)) per seed — so thousands of seeds cover shallow races with
+// near certainty, and a failing seed replays the identical schedule.
+
+// DefaultPCTDepth is the bug depth PCT targets by default.  Depth 3 covers
+// every pairwise ordering bug plus most "window" bugs (a write landing
+// inside a two-step read sequence, e.g. a torn Len observer snapshot).
+const DefaultPCTDepth = 3
+
+// pctChooser implements chooser with randomized priorities.
+type pctChooser struct {
+	prio     []int // higher runs first; demotions go negative
+	changeAt map[int]int
+	ruled    []ruledEntry // threads ruled out within the current step
+}
+
+// newPCTChooser builds the chooser for n threads from a seeded RNG.
+// maxSteps bounds where change points may land.
+func newPCTChooser(rng *rand.Rand, n, depth, maxSteps int) *pctChooser {
+	c := &pctChooser{prio: rng.Perm(n), changeAt: map[int]int{}}
+	if depth < 1 {
+		depth = 1
+	}
+	// Change points land in the early window where the protocols do their
+	// interesting work; spreading them over the full maxSteps would waste
+	// most of them past the end of short schedules.
+	window := 4 * n * 16
+	if window > maxSteps {
+		window = maxSteps
+	}
+	for k := 0; k < depth-1; k++ {
+		c.changeAt[rng.Intn(window)] = k
+	}
+	return c
+}
+
+func (c *pctChooser) pick(st *schedState) int {
+	best := -1
+	for {
+		// Highest-priority live thread not yet ruled out this step.
+		bestPrio := 0
+		best = -1
+		for i := 0; i < st.N(); i++ {
+			if st.Finished(i) || c.prio[i] == ruledOut {
+				continue
+			}
+			if best == -1 || c.prio[i] > bestPrio {
+				best, bestPrio = i, c.prio[i]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if !st.Blocked(best) || st.Probe(best) {
+			break
+		}
+		// Parked on a false condition: rule it out for this step only.
+		c.ruled = append(c.ruled, ruledEntry{best, c.prio[best]})
+		c.prio[best] = ruledOut
+	}
+	// Restore the priorities of threads ruled out during this step.
+	for _, r := range c.ruled {
+		c.prio[r.i] = r.p
+	}
+	c.ruled = c.ruled[:0]
+	if best == -1 {
+		return -1
+	}
+	if k, ok := c.changeAt[st.step]; ok {
+		// Demote the thread chosen at the change point below all others.
+		c.prio[best] = -(k + 1)
+	}
+	return best
+}
+
+const ruledOut = -1 << 30
+
+type ruledEntry struct {
+	i, p int
+}
+
+// RunSeed runs exactly one PCT schedule for the given seed and returns its
+// result.  This is the replay primitive: the seed fully determines the
+// schedule, so a failing seed from a log or a committed regression test
+// reproduces the identical interleaving.
+func RunSeed(seed int64, depth int, th Threads) Result {
+	return RunSeedSteps(seed, depth, DefaultMaxSteps, th)
+}
+
+// RunSeedSteps is RunSeed with an explicit per-schedule step bound.
+func RunSeedSteps(seed int64, depth, maxSteps int, th Threads) Result {
+	rng := rand.New(rand.NewSource(seed))
+	return run(newPCTChooser(rng, len(th.Fns), depth, maxSteps), th, maxSteps)
+}
+
+// PCTReport summarizes a multi-seed PCT exploration.
+type PCTReport struct {
+	Seeds       int   // schedules explored
+	FailingSeed int64 // first failing seed (valid when Failed)
+	Failed      bool
+	Result      Result // the failing schedule's result (when Failed)
+	TotalSteps  int
+}
+
+// Error renders the failure with its replay instructions.
+func (r PCTReport) Error() string {
+	if !r.Failed {
+		return ""
+	}
+	return fmt.Sprintf("seed %d failed after %d steps: %v\nreplay: PURE_CHECK_SEED=%d (or check.RunSeed(%d, ...))\nschedule tail:\n%s",
+		r.FailingSeed, r.Result.Steps, r.Result.Err, r.FailingSeed, r.FailingSeed, r.Result.TraceString(40))
+}
+
+// RunPCT explores nseeds schedules (seeds seed0..seed0+nseeds-1), building a
+// fresh workload per schedule, and stops at the first failure.  When the
+// PURE_CHECK_SEED environment variable is set, exactly that seed runs
+// instead — the documented replay path for a failure printed by any model
+// test.
+func RunPCT(seed0 int64, nseeds, depth int, mk func() Threads) PCTReport {
+	if s, ok := ReplaySeedFromEnv(); ok {
+		res := RunSeed(s, depth, mk())
+		return PCTReport{Seeds: 1, FailingSeed: s, Failed: res.Failed(), Result: res, TotalSteps: res.Steps}
+	}
+	rep := PCTReport{}
+	for i := 0; i < nseeds; i++ {
+		seed := seed0 + int64(i)
+		res := RunSeed(seed, depth, mk())
+		rep.Seeds++
+		rep.TotalSteps += res.Steps
+		if res.Failed() {
+			rep.Failed = true
+			rep.FailingSeed = seed
+			rep.Result = res
+			return rep
+		}
+	}
+	return rep
+}

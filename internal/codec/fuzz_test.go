@@ -1,0 +1,46 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzCodecRoundTrip drives the payload codec with arbitrary bytes: any
+// 8-byte-aligned prefix must decode to numeric slices that re-encode to
+// the identical bytes (bit-exact, including NaN payloads and negative
+// zero — the cross-runtime comparison tests depend on this).
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Float64Bytes([]float64{0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1)}))
+	f.Add(Float64Bytes([]float64{math.NaN(), math.Copysign(0, -1)}))
+	f.Add(Int64Bytes([]int64{0, 1, -1, math.MaxInt64, math.MinInt64}))
+	f.Add([]byte{1, 2, 3}) // sub-element tail, ignored by the slice view
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		n := len(b) / 8
+		aligned := b[:n*8]
+
+		fs := make([]float64, n)
+		GetFloat64s(fs, aligned)
+		fb := make([]byte, n*8)
+		PutFloat64s(fb, fs)
+		if !bytes.Equal(fb, aligned) {
+			t.Fatalf("float64 round trip not bit-exact:\n in:  %x\n out: %x", aligned, fb)
+		}
+		if got := Float64Bytes(fs); !bytes.Equal(got, aligned) {
+			t.Fatalf("Float64Bytes diverges from PutFloat64s")
+		}
+
+		is := make([]int64, n)
+		GetInt64s(is, aligned)
+		ib := make([]byte, n*8)
+		PutInt64s(ib, is)
+		if !bytes.Equal(ib, aligned) {
+			t.Fatalf("int64 round trip not bit-exact:\n in:  %x\n out: %x", aligned, ib)
+		}
+		if got := Int64Bytes(is); !bytes.Equal(got, aligned) {
+			t.Fatalf("Int64Bytes diverges from PutInt64s")
+		}
+	})
+}

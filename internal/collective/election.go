@@ -32,8 +32,7 @@ func NewCASBarrier(n int) *CASBarrier {
 
 // Wait blocks tid until all n threads have arrived.
 func (b *CASBarrier) Wait(tid int, wait WaitFunc) {
-	b.rounds[tid].v++
-	r := b.rounds[tid].v
+	r := b.rounds[tid].v.Add(1)
 	iAmLeader := b.leader.CompareAndSwap(0, int64(tid)+1)
 	arrivedNow := b.arrived.Add(1)
 	if iAmLeader {

@@ -147,13 +147,12 @@ func (p *PartitionedReducer) Allreduce(tid int, in, out []byte, op Op, dt DType,
 }
 
 func (p *PartitionedReducer) nextRound(tid int) uint64 {
-	p.rounds[tid].v++
-	return p.rounds[tid].v
+	return p.rounds[tid].v.Add(1)
 }
 
 // Round returns how many Allreduce rounds thread tid has completed on this
-// structure (exact for tid itself, a snapshot for other readers).
-func (p *PartitionedReducer) Round(tid int) uint64 { return p.rounds[tid].v }
+// structure (exact for tid itself, an atomic snapshot for other readers).
+func (p *PartitionedReducer) Round(tid int) uint64 { return p.rounds[tid].v.Load() }
 
 // CounterBarrier is the shared-atomic-counter barrier the paper tried first
 // and abandoned ("the pairwise synchronization offered by [SPTD] vastly
@@ -178,8 +177,7 @@ func NewCounterBarrier(n int) *CounterBarrier {
 
 // Wait blocks tid until all n threads have arrived.
 func (b *CounterBarrier) Wait(tid int, wait WaitFunc) {
-	b.rounds[tid].v++
-	r := b.rounds[tid].v
+	r := b.rounds[tid].v.Add(1)
 	if b.count.Add(1) == int64(b.n) {
 		b.count.Store(0)
 		b.sense.Store(r) // release everyone

@@ -44,8 +44,14 @@ type SPTD struct {
 	rounds []paddedCounter
 }
 
+// paddedCounter is a per-thread round counter.  Only the owning thread
+// advances it, but the observability layer (and watchdog diagnostics) may
+// read any thread's counter from another goroutine, so the value is atomic:
+// the owner's uncontended Add costs the same as a plain increment plus a
+// lock-prefix, and observers get a well-defined snapshot instead of a data
+// race (a stale-read bug the deterministic checker's audit surfaced).
 type paddedCounter struct {
-	v uint64
+	v atomic.Uint64
 	_ [56]byte
 }
 
@@ -74,14 +80,13 @@ func (s *SPTD) NThreads() int { return s.nthreads }
 
 // Round returns how many collective rounds thread tid has completed on this
 // structure.  Each thread owns its counter, so the value is exact when read
-// by tid itself and a snapshot otherwise; the observability layer records it
-// with SPTD-path collective trace events.
-func (s *SPTD) Round(tid int) uint64 { return s.rounds[tid].v }
+// by tid itself and an atomic snapshot otherwise; the observability layer
+// records it with SPTD-path collective trace events.
+func (s *SPTD) Round(tid int) uint64 { return s.rounds[tid].v.Load() }
 
 // nextRound advances and returns tid's round number (1-based).
 func (s *SPTD) nextRound(tid int) uint64 {
-	s.rounds[tid].v++
-	return s.rounds[tid].v
+	return s.rounds[tid].v.Add(1)
 }
 
 // finish records that tid has completed round r.
@@ -117,11 +122,14 @@ func (s *SPTD) BarrierBridged(tid int, bridge func(), wait WaitFunc) {
 		if bridge != nil {
 			bridge()
 		}
+		schedpoint("sptd:barrier:publish-result")
 		s.resultSeq.Store(r)
 	} else {
+		schedpoint("sptd:barrier:arrive")
 		s.boxes[tid].seq.Store(r)
 		wait(func() bool { return s.resultSeq.Load() >= r })
 	}
+	schedpoint("sptd:barrier:finish")
 	s.finish(tid, r)
 }
 
@@ -137,29 +145,36 @@ func (s *SPTD) Reduce(tid, root int, in, out []byte, op Op, dt DType, bridge fun
 	if tid == 0 {
 		// Gather and fold every non-leader's dropbox payload.
 		s.waitAllFinished(r-1, wait) // result buffer reuse safety
+		schedpoint("sptd:reduce:leader-fold")
 		acc := s.result[:len(in)]
 		copy(acc, in)
 		for t := 1; t < s.nthreads; t++ {
 			b := &s.boxes[t]
 			wait(func() bool { return b.seq.Load() >= r })
+			schedpoint("sptd:reduce:consume-box")
 			Accumulate(acc, b.buf[:len(in)], op, dt)
 		}
 		if bridge != nil {
 			bridge(acc)
 		}
+		schedpoint("sptd:reduce:publish-result")
 		s.resultSeq.Store(r)
 		if root == 0 {
 			copy(out, acc)
 		}
 	} else {
 		b := &s.boxes[tid]
+		schedpoint("sptd:reduce:write-box")
 		copy(b.buf[:len(in)], in)
+		schedpoint("sptd:reduce:publish-box")
 		b.seq.Store(r)
 		if tid == root {
 			wait(func() bool { return s.resultSeq.Load() >= r })
+			schedpoint("sptd:reduce:copy-out")
 			copy(out, s.result[:len(in)])
 		}
 	}
+	schedpoint("sptd:reduce:finish")
 	s.finish(tid, r)
 	// The leader must not return before the root has copied the result out;
 	// otherwise the leader could start the next round and overwrite it.  The
@@ -177,25 +192,32 @@ func (s *SPTD) Allreduce(tid int, in, out []byte, op Op, dt DType, bridge func([
 	r := s.nextRound(tid)
 	if tid == 0 {
 		s.waitAllFinished(r-1, wait)
+		schedpoint("sptd:allreduce:leader-fold")
 		acc := s.result[:len(in)]
 		copy(acc, in)
 		for t := 1; t < s.nthreads; t++ {
 			b := &s.boxes[t]
 			wait(func() bool { return b.seq.Load() >= r })
+			schedpoint("sptd:allreduce:consume-box")
 			Accumulate(acc, b.buf[:len(in)], op, dt)
 		}
 		if bridge != nil {
 			bridge(acc)
 		}
+		schedpoint("sptd:allreduce:publish-result")
 		s.resultSeq.Store(r)
 		copy(out, acc)
 	} else {
 		b := &s.boxes[tid]
+		schedpoint("sptd:allreduce:write-box")
 		copy(b.buf[:len(in)], in)
+		schedpoint("sptd:allreduce:publish-box")
 		b.seq.Store(r)
 		wait(func() bool { return s.resultSeq.Load() >= r })
+		schedpoint("sptd:allreduce:copy-out")
 		copy(out, s.result[:len(in)])
 	}
+	schedpoint("sptd:allreduce:finish")
 	s.finish(tid, r)
 }
 
@@ -212,11 +234,15 @@ func (s *SPTD) Broadcast(tid, root int, buf []byte, bridge func([]byte), wait Wa
 		if bridge != nil {
 			bridge(buf)
 		}
+		schedpoint("sptd:bcast:write-result")
 		copy(s.result[:len(buf)], buf)
+		schedpoint("sptd:bcast:publish-result")
 		s.resultSeq.Store(r)
 	} else {
 		wait(func() bool { return s.resultSeq.Load() >= r })
+		schedpoint("sptd:bcast:copy-out")
 		copy(buf, s.result[:len(buf)])
 	}
+	schedpoint("sptd:bcast:finish")
 	s.finish(tid, r)
 }

@@ -132,6 +132,39 @@ func BenchmarkPureAllreduce8B(b *testing.B) {
 	}
 }
 
+// BenchmarkRMAPut measures the one-sided put/fence cycle between two
+// co-resident ranks: one direct copy into the peer's window plus the
+// fence epoch that publishes it.
+func BenchmarkRMAPut(b *testing.B) {
+	for _, size := range []int{8, 1 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			err := Run(Config{NRanks: 2}, func(r *Rank) {
+				w := r.World().WinCreate(make([]byte, size))
+				data := make([]byte, size)
+				w.Fence()
+				if r.ID() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						w.Put(data, 1, 0)
+						w.Fence()
+					}
+					b.StopTimer()
+					b.SetBytes(int64(size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						w.Fence()
+					}
+				}
+				w.Free()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func BenchmarkPureTaskExecuteNoSteal(b *testing.B) {
 	benchProcs(b)
 	// Owner-only task dispatch cost (no thieves exist to steal).

@@ -242,12 +242,14 @@ func (r *Rank) rmaProgress() {
 		}
 	}
 	for _, in := range r.rmaIn {
+		schedpoint("core:rma:drain-inbox")
 		for in.flow.rc.n.Load() > 0 {
 			msg, ok := in.flow.rc.tryPop()
 			if !ok {
 				break
 			}
 			r.rmaApply(in, msg)
+			schedpoint("core:rma:applied")
 			in.flow.applied.Add(1)
 			r.slot.progress.Add(1) // frame application is forward progress
 		}
@@ -439,6 +441,7 @@ func (win *Win) Fence() {
 			if win.w.FenceReached(win.fenceRound) {
 				return true
 			}
+			schedpoint("core:rma:fence-poll")
 			r.rmaProgress()
 			return win.w.FenceReached(win.fenceRound)
 		})
@@ -584,6 +587,7 @@ func (win *Win) NotifyWait(slot, count int) {
 		if win.w.NotifyCount(me, slot) >= need {
 			return true
 		}
+		schedpoint("core:rma:notify-poll")
 		r.rmaProgress()
 		return win.w.NotifyCount(me, slot) >= need
 	})

@@ -23,11 +23,11 @@ type PBQ struct {
 	lens       []int32
 	buf        []byte
 
-	_    pad
-	head atomic.Uint64 // consumer-owned
-	_    pad
-	tail atomic.Uint64 // producer-owned
-	_    pad
+	_      pad
+	head   atomic.Uint64 // consumer-owned
+	_      pad
+	tail   atomic.Uint64 // producer-owned
+	_      pad
 	stalls atomic.Int64 // failed (queue-full) enqueue attempts, for observability
 	_      pad
 }
@@ -60,8 +60,27 @@ func (q *PBQ) Cap() int { return len(q.lens) }
 // MaxPayload returns the largest message the queue accepts.
 func (q *PBQ) MaxPayload() int { return q.maxPayload }
 
-// Len returns the number of buffered messages (approximate for observers).
-func (q *PBQ) Len() int { return int(q.tail.Load() - q.head.Load()) }
+// Len returns the number of buffered messages.  Safe for any observer
+// goroutine: the head is loaded before the tail and the difference is
+// clamped to [0, Cap], so a snapshot taken while both endpoints advance can
+// never report a negative or over-capacity depth.  (Loading the tail first
+// could see a head that had already passed it, underflowing the unsigned
+// difference — a torn read the deterministic checker exhibits; see
+// internal/check's PBQ observer model test.)
+func (q *PBQ) Len() int {
+	schedpoint("pbq:len:load-head")
+	h := q.head.Load()
+	schedpoint("pbq:len:load-tail")
+	t := q.tail.Load()
+	// The tail never trails the head, and h is the older snapshot, so t >= h
+	// always; but both endpoints may have advanced between the two loads, so
+	// the difference is capped at the slot count.
+	n := t - h
+	if n > q.mask+1 {
+		n = q.mask + 1
+	}
+	return int(n)
+}
 
 // Stalls returns how many TryEnqueue calls found the queue full — the
 // backpressure signal the observability layer exports as a metric.  Note a
@@ -75,14 +94,18 @@ func (q *PBQ) TryEnqueue(msg []byte) bool {
 	if len(msg) > q.maxPayload {
 		panic(fmt.Sprintf("queue: message of %d bytes exceeds PBQ payload limit %d", len(msg), q.maxPayload))
 	}
+	schedpoint("pbq:enq:load-tail")
 	t := q.tail.Load()
+	schedpoint("pbq:enq:load-head")
 	if t-q.head.Load() > q.mask {
 		q.stalls.Add(1)
 		return false // full
 	}
 	slot := int(t&q.mask) * q.slotStride
+	schedpoint("pbq:enq:write-slot")
 	copy(q.buf[slot:slot+len(msg)], msg)
 	q.lens[t&q.mask] = int32(len(msg))
+	schedpoint("pbq:enq:publish")
 	q.tail.Store(t + 1) // publish: everything written above happens-before the consumer's load
 	return true
 }
@@ -92,17 +115,21 @@ func (q *PBQ) TryEnqueue(msg []byte) bool {
 // buffered message (message semantics, like MPI_Recv: a too-small buffer is
 // a program error and panics rather than truncating silently).
 func (q *PBQ) TryDequeue(dst []byte) (n int, ok bool) {
+	schedpoint("pbq:deq:load-head")
 	h := q.head.Load()
+	schedpoint("pbq:deq:load-tail")
 	if h == q.tail.Load() {
 		return 0, false // empty
 	}
 	idx := h & q.mask
+	schedpoint("pbq:deq:read-slot")
 	n = int(q.lens[idx])
 	if n > len(dst) {
 		panic(fmt.Sprintf("queue: receive buffer of %d bytes too small for %d-byte message", len(dst), n))
 	}
 	slot := int(idx) * q.slotStride
 	copy(dst[:n], q.buf[slot:slot+n])
+	schedpoint("pbq:deq:release")
 	q.head.Store(h + 1) // release the slot to the producer
 	return n, true
 }
@@ -111,7 +138,9 @@ func (q *PBQ) TryDequeue(dst []byte) (n int, ok bool) {
 // consuming it.  ok is false when the queue is empty.  Receivers use this to
 // size probe-style operations.
 func (q *PBQ) PeekLen() (n int, ok bool) {
+	schedpoint("pbq:peek:load-head")
 	h := q.head.Load()
+	schedpoint("pbq:peek:load-tail")
 	if h == q.tail.Load() {
 		return 0, false
 	}

@@ -117,12 +117,14 @@ func (w *Window) checkRange(target, off, n int, what string) {
 // epoch flag (fence/PSCW/notify) published subsequently.
 func (w *Window) CopyIn(target, off int, data []byte) {
 	w.checkRange(target, off, len(data), "Put")
+	schedpoint("rma:put:copy-in")
 	copy(w.bufs[target][off:], data)
 }
 
 // CopyOut applies a Get: one direct copy out of target's window at off.
 func (w *Window) CopyOut(target, off int, dest []byte) {
 	w.checkRange(target, off, len(dest), "Get")
+	schedpoint("rma:get:copy-out")
 	copy(dest, w.bufs[target][off:])
 }
 
@@ -134,10 +136,13 @@ func (w *Window) CopyOut(target, off int, dest []byte) {
 func (w *Window) AccumulateLocal(target, off int, data []byte, op collective.Op, dt collective.DType, wait func(func() bool)) {
 	w.checkRange(target, off, len(data), "Accumulate")
 	mu := &w.accMu[target]
+	schedpoint("rma:acc:trylock")
 	if !mu.TryLock() {
 		wait(mu.TryLock)
 	}
+	schedpoint("rma:acc:fold")
 	collective.Accumulate(w.bufs[target][off:off+len(data)], data, op, dt)
+	schedpoint("rma:acc:unlock")
 	mu.Unlock()
 }
 
@@ -146,7 +151,10 @@ func (w *Window) AccumulateLocal(target, off int, data []byte, op collective.Op,
 // FenceArrive publishes rank tid's arrival at fence round (monotonically
 // increasing, starting at 1).  The caller must have completed its own
 // outstanding window operations first.
-func (w *Window) FenceArrive(tid int, round uint64) { w.fence[tid].v.Store(round) }
+func (w *Window) FenceArrive(tid int, round uint64) {
+	schedpoint("rma:fence:arrive")
+	w.fence[tid].v.Store(round)
+}
 
 // FenceReached reports whether every member has arrived at round.  Polled
 // from the caller's SSW loop; the atomic loads carry the happens-before
@@ -175,7 +183,10 @@ func (w *Window) FenceLaggards(round uint64) []int {
 // ---- PSCW (post/start/complete/wait) ----
 
 // Post publishes rank tid's exposure epoch round (the target side of PSCW).
-func (w *Window) Post(tid int, round uint64) { w.post[tid].v.Store(round) }
+func (w *Window) Post(tid int, round uint64) {
+	schedpoint("rma:pscw:post")
+	w.post[tid].v.Store(round)
+}
 
 // Posted reports whether target has posted exposure round.
 func (w *Window) Posted(target int, round uint64) bool {
@@ -184,6 +195,7 @@ func (w *Window) Posted(target int, round uint64) bool {
 
 // Complete publishes origin's completion of access epoch round at target.
 func (w *Window) Complete(origin, target int, round uint64) {
+	schedpoint("rma:pscw:complete")
 	w.complete[origin*w.n+target].v.Store(round)
 }
 
@@ -210,6 +222,7 @@ func (w *Window) Notify(target, slot int) {
 	if target < 0 || target >= w.n {
 		panic(fmt.Sprintf("rma: Notify target rank %d out of range [0,%d)", target, w.n))
 	}
+	schedpoint("rma:notify:add")
 	w.notify[target*NotifySlots+slot].v.Add(1)
 }
 

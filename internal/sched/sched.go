@@ -99,6 +99,7 @@ func (e *exec) grab() (start, end int64, ok bool) {
 			}
 		}
 	}
+	schedpoint("sched:grab:alloc")
 	start = e.curr.Add(k) - k
 	if start >= e.nchunks {
 		return 0, 0, false
@@ -170,6 +171,7 @@ func (s *Scheduler) Run(slot int, nchunks int64, body Body, extra any, wait func
 		return RunStats{}
 	}
 	e := &exec{body: body, nchunks: nchunks, extra: extra, mode: s.cfg.ChunkMode, nslots: int64(s.cfg.Slots)}
+	schedpoint("sched:run:open")
 	s.active[slot].Store(e) // publish: open for stealing
 
 	var localDone int64 // the paper's owner-local completion count (avoids a
@@ -179,6 +181,7 @@ func (s *Scheduler) Run(slot int, nchunks int64, body Body, extra any, wait func
 		if !ok {
 			break
 		}
+		schedpoint("sched:run:exec-chunk")
 		body(start, end, extra)
 		localDone += end - start
 	}
@@ -196,6 +199,7 @@ func (s *Scheduler) Run(slot int, nchunks int64, body Body, extra any, wait func
 	} else {
 		wait(func() bool { return e.done.Load()+localDone == nchunks })
 	}
+	schedpoint("sched:run:close")
 	s.active[slot].Store(nil) // close
 	return RunStats{OwnerChunks: localDone, StolenChunks: nchunks - localDone}
 }
@@ -211,6 +215,7 @@ func (s *Scheduler) ownerThief(slot int) *Thief {
 // stealGrab attempts to allocate one chunk range from the exec in the victim
 // slot without executing it (so the thief can time the execution separately).
 func (s *Scheduler) stealGrab(victim int) (e *exec, start, end int64, ok bool) {
+	schedpoint("sched:steal:load-victim")
 	e = s.active[victim].Load()
 	if e == nil {
 		return nil, 0, 0, false
@@ -229,7 +234,9 @@ func (t *Thief) runStolen(e *exec, start, end int64) {
 		t.Obs(time.Since(t0).Nanoseconds())
 		return
 	}
+	schedpoint("sched:steal:exec-chunk")
 	e.body(start, end, e.extra)
+	schedpoint("sched:steal:count-done")
 	e.done.Add(end - start)
 }
 

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench_json.sh — run the PR's headline microbenchmarks and emit their
+# ns/op as machine-readable JSON (BENCH_pr4.json), so perf regressions in
+# the instrumented hot loops (the purecheck schedpoint seams must compile
+# to nothing in normal builds) are visible across commits.
+#
+# Usage: sh scripts/bench_json.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_pr4.json}
+benchtime=${PURE_BENCHTIME:-1s}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== PBQ ping-pong (internal/queue)"
+go test -run XXX -bench 'BenchmarkPBQPingPong$' -benchtime "$benchtime" ./internal/queue | tee -a "$tmp"
+
+echo "== SPTD allreduce (internal/collective)"
+go test -run XXX -bench 'BenchmarkSPTDAllreduce8B$' -benchtime "$benchtime" ./internal/collective | tee -a "$tmp"
+
+echo "== RMA put/fence (internal/core)"
+go test -run XXX -bench 'BenchmarkRMAPut$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+# Parse `BenchmarkName[/sub]-P  N  123.4 ns/op ...` lines into JSON.
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") {
+            if (!first) printf ",\n"
+            first = 0
+            printf "  \"%s\": %s", name, $i
+        }
+    }
+}
+END { print "\n}" }
+' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"

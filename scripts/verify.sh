@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gate: build, vet, the
-# complete test suite, and the race detector over the lock-free/concurrent
-# packages (queue, collective, obs) whose bugs only -race reliably catches.
-# CI and `make verify` both run exactly this script.
+# complete test suite, the race detector over every concurrent package,
+# a short-budget pass of the deterministic schedule checker and the
+# wire-format fuzzers, and the chaos suite.  CI and `make verify` both
+# run exactly this script.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,7 +17,15 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent core packages)"
-go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma
+go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
+    ./internal/sched ./internal/netsim ./internal/ssw ./internal/core
+
+echo "== deterministic schedule checker (short budget; full run: make check)"
+PURE_CHECK_SEEDS=64 go test -tags purecheck -count=1 ./internal/check
+
+echo "== fuzz smoke (wire-format decoders, short budget; full run: make fuzz)"
+go test -count=1 -fuzz FuzzFrameDecode -fuzztime 5s ./internal/rma
+go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/codec
 
 echo "== chaos suite (watchdog/abort/fault-injection under -race)"
 go test -race -count=1 \
