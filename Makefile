@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test race chaos check fuzz verify bench bench-json
+.PHONY: build test race chaos check fuzz verify bench bench-json analyze
 
 build:
 	go build ./...
@@ -43,7 +43,13 @@ verify:
 bench:
 	go test -run XXX -bench . -benchtime=1s ./internal/core
 
-# Headline microbenchmarks as JSON (BENCH_pr4.json) for cross-commit
+# Headline microbenchmarks as JSON (BENCH_pr5.json) for cross-commit
 # comparison.
 bench-json:
 	sh scripts/bench_json.sh
+
+# Trace-analytics smoke: run a traced stencil, dump the binary trace, and
+# analyze it with puretrace (the same pipeline verify.sh gates on).
+analyze:
+	go run ./cmd/purebench -trace-bin /tmp/pure-trace.bin
+	go run ./cmd/puretrace analyze /tmp/pure-trace.bin

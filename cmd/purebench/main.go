@@ -6,16 +6,20 @@
 //	purebench -quick          # trimmed scales (seconds instead of minutes)
 //	purebench -exp fig4,fig7a # specific experiments
 //	purebench -csv out/       # also write one CSV per experiment
-//	purebench -trace t.json   # run a traced stencil, write a Chrome trace
-//	purebench -metrics m.prom # ... and/or a Prometheus metrics snapshot
+//	purebench -trace t.json     # run a traced stencil, write a Chrome trace
+//	purebench -metrics m.prom   # ... and/or a Prometheus metrics snapshot
+//	purebench -trace-bin t.bin  # ... and/or a binary dump for puretrace
+//	purebench -monitor :8080    # serve the live monitor during the run
 //
 // Experiment ids: sec2 fig4 fig5a fig5b fig5c fig5d fig6 fig6real fig7a
 // fig7b fig7breal fig7c appA appC ablation-pbq rma.
 //
-// -trace and -metrics run the §2 stencil workload under the runtime
-// observability layer instead of the experiment tables: the Chrome trace
-// loads in chrome://tracing or https://ui.perfetto.dev, the metrics file is
-// Prometheus text format.
+// -trace, -metrics and -trace-bin run the §2 stencil workload under the
+// runtime observability layer instead of the experiment tables: the Chrome
+// trace loads in chrome://tracing or https://ui.perfetto.dev, the metrics
+// file is Prometheus text format, and the binary dump feeds `puretrace
+// analyze`.  -monitor additionally serves /metrics, /ranks and /debug/pprof
+// live while the stencil runs.
 package main
 
 import (
@@ -38,10 +42,12 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	traceOut := flag.String("trace", "", "run a traced stencil and write a Chrome trace to this file")
 	metricsOut := flag.String("metrics", "", "run a traced stencil and write a Prometheus metrics snapshot to this file")
+	traceBinOut := flag.String("trace-bin", "", "run a traced stencil and write a binary trace dump (for puretrace) to this file")
+	monitorAddr := flag.String("monitor", "", "serve the live runtime monitor on this address during the observed run (e.g. :8080)")
 	flag.Parse()
 
-	if *traceOut != "" || *metricsOut != "" {
-		observedRun(*traceOut, *metricsOut)
+	if *traceOut != "" || *metricsOut != "" || *traceBinOut != "" {
+		observedRun(*traceOut, *metricsOut, *traceBinOut, *monitorAddr)
 		return
 	}
 
@@ -83,13 +89,13 @@ func main() {
 
 // observedRun executes the §2 stencil under Config.Trace/Config.Metrics and
 // writes the requested export files.
-func observedRun(traceOut, metricsOut string) {
+func observedRun(traceOut, metricsOut, traceBinOut, monitorAddr string) {
 	const nranks = 8
-	cfg := pure.Config{NRanks: nranks}
-	if traceOut != "" {
+	cfg := pure.Config{NRanks: nranks, MonitorAddr: monitorAddr}
+	if traceOut != "" || traceBinOut != "" {
 		cfg.Trace = pure.NewTrace(nranks, 0)
 	}
-	if metricsOut != "" {
+	if metricsOut != "" || monitorAddr != "" {
 		cfg.Metrics = pure.NewMetrics()
 	}
 	rep, err := comm.RunPureWithReport(cfg, func(b comm.Backend) {
@@ -111,6 +117,18 @@ func observedRun(traceOut, metricsOut string) {
 		f.Close()
 		fmt.Printf("purebench: wrote %d trace events (%d dropped) to %s\n",
 			rep.Trace.Len(), rep.Trace.Dropped(), traceOut)
+	}
+	if traceBinOut != "" {
+		f, err := os.Create(traceBinOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteTraceBin(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("purebench: wrote binary trace dump (%d events) to %s; inspect with `puretrace analyze %s`\n",
+			rep.Trace.Len(), traceBinOut, traceBinOut)
 	}
 	if metricsOut != "" {
 		f, err := os.Create(metricsOut)

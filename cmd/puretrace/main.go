@@ -1,0 +1,191 @@
+// Command puretrace analyzes binary trace dumps recorded by the Pure runtime
+// (pure.Report.WriteTraceBin, or the -trace-bin flags on purebench and the
+// stencil example).
+//
+// Usage:
+//
+//	puretrace analyze [-json] [-unmatched N] <trace.bin>
+//	puretrace top     [-n N] <trace.bin>
+//	puretrace skew    [-n N] <trace.bin>
+//	puretrace convert [-o out.json] <trace.bin>
+//
+// analyze prints the full report: message matching per protocol path with
+// latency histograms, unmatched operations, collective skew per round,
+// PureBufferQueue backpressure, per-rank time breakdown, and the
+// critical-path estimate.  top ranks communication pairs and PBQ stalls,
+// skew prints only the collective rounds, and convert rewrites the dump as
+// Chrome trace_event JSON for chrome://tracing or https://ui.perfetto.dev.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: puretrace <analyze|top|skew|convert> [flags] <trace.bin>")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "top":
+		err = cmdTop(args)
+	case "skew":
+		err = cmdSkew(args)
+	case "convert":
+		err = cmdConvert(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puretrace %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+// load reads the dump named by the flag set's positional argument and runs
+// the analyzer over it.
+func load(fs *flag.FlagSet, maxUnmatched int) (*analyze.Analysis, *obs.TraceDump, error) {
+	if fs.NArg() != 1 {
+		return nil, nil, fmt.Errorf("want exactly one trace file, got %d args", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	d, err := obs.ReadTraceBin(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := analyze.Run(d.Events, d.NRanks, analyze.Options{MaxUnmatched: maxUnmatched})
+	a.Dropped = d.Dropped
+	return a, d, nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of text")
+	maxUn := fs.Int("unmatched", 64, "list at most this many unmatched operations")
+	fs.Parse(args)
+	a, _, err := load(fs, *maxUn)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a)
+	}
+	return a.WriteText(os.Stdout)
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	n := fs.Int("n", 10, "show the top N entries per table")
+	fs.Parse(args)
+	a, _, err := load(fs, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d pairs by matched bytes (%d total pairs):\n", min(*n, len(a.Pairs)), len(a.Pairs))
+	for i, pr := range a.Pairs {
+		if i >= *n {
+			break
+		}
+		fmt.Printf("  %3d -> %-3d %-10s msgs=%-6d bytes=%-10d mean latency %v\n",
+			pr.Src, pr.Dst, pr.Path, pr.Matched, pr.Bytes, time.Duration(pr.Latency.Mean()))
+	}
+	if len(a.PBQ) > 0 {
+		fmt.Printf("top %d PBQ-backpressure pairs (%d total):\n", min(*n, len(a.PBQ)), len(a.PBQ))
+		for i, sp := range a.PBQ {
+			if i >= *n {
+				break
+			}
+			fmt.Printf("  %3d -> %-3d stalls=%-6d total %v (max %v)\n",
+				sp.Src, sp.Dst, sp.Stalls, time.Duration(sp.TotalNs), time.Duration(sp.MaxNs))
+		}
+	}
+	return nil
+}
+
+func cmdSkew(args []string) error {
+	fs := flag.NewFlagSet("skew", flag.ExitOnError)
+	n := fs.Int("n", 50, "show at most N rounds")
+	fs.Parse(args)
+	a, _, err := load(fs, 0)
+	if err != nil {
+		return err
+	}
+	c := a.Collectives
+	if len(c.Rounds) == 0 {
+		fmt.Println("no collective rounds in trace")
+		return nil
+	}
+	fmt.Printf("%d collective calls in %d rounds; arrival spread mean %v, max %v\n",
+		c.Calls, len(c.Rounds), time.Duration(c.MeanSpreadNs), time.Duration(c.MaxSpreadNs))
+	for i, rs := range c.Rounds {
+		if i >= *n {
+			fmt.Printf("... %d more rounds\n", len(c.Rounds)-i)
+			break
+		}
+		label := fmt.Sprintf("round %d", rs.Round)
+		if rs.Large {
+			label = fmt.Sprintf("call #%d", rs.Round)
+		}
+		fmt.Printf("  %-9s node %d %-12s ranks=%-3d spread %-12v last=rank %-3d slowest=rank %d (%v)\n",
+			rs.Kind, rs.Node, label, rs.Ranks, time.Duration(rs.ArrivalSpreadNs),
+			rs.LastRank, rs.SlowestRank, time.Duration(rs.MaxDurNs))
+	}
+	for i, s := range c.Stragglers {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("straggler: rank %d last to arrive %d times (total lateness %v)\n",
+			s.Rank, s.LastArrivals, time.Duration(s.LatenessNs))
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one trace file, got %d args", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := obs.ReadTraceBin(f)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	// Node placement is not recorded in the dump; render all ranks as one
+	// process.
+	return obs.WriteChromeTrace(w, d.Events, func(int32) int { return 0 })
+}

@@ -5,10 +5,14 @@
 //
 //	go run ./examples/stencil
 //	go run ./examples/stencil -trace trace.json -metrics metrics.prom
+//	go run ./examples/stencil -trace-bin trace.bin -monitor :8080
 //
 // -trace writes the tasked run's event timeline in the Chrome trace_event
 // format (load it in chrome://tracing or https://ui.perfetto.dev); -metrics
-// writes a Prometheus text-format snapshot of the runtime counters.
+// writes a Prometheus text-format snapshot of the runtime counters;
+// -trace-bin writes the binary trace dump that `puretrace analyze` consumes;
+// -monitor serves the live runtime monitor (/metrics, /ranks, /debug/pprof)
+// while the tasked run executes.
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace of the tasked run to this file")
 	metricsOut := flag.String("metrics", "", "write a Prometheus metrics snapshot of the tasked run to this file")
+	traceBinOut := flag.String("trace-bin", "", "write a binary trace dump of the tasked run (for puretrace) to this file")
+	monitorAddr := flag.String("monitor", "", "serve the live runtime monitor on this address during the tasked run (e.g. :8080)")
 	useRMA := flag.Bool("rma", true, "also run the one-sided (Put+Notify) halo-exchange variant")
 	flag.Parse()
 
@@ -36,11 +42,17 @@ func main() {
 		p := params
 		p.UseTask = useTask
 		cfg := pure.Config{NRanks: nranks}
-		if observed && *traceOut != "" {
+		if observed && (*traceOut != "" || *traceBinOut != "") {
 			cfg.Trace = pure.NewTrace(nranks, 0)
 		}
 		if observed && *metricsOut != "" {
 			cfg.Metrics = pure.NewMetrics()
+		}
+		if observed && *monitorAddr != "" {
+			cfg.MonitorAddr = *monitorAddr
+			if cfg.Metrics == nil {
+				cfg.Metrics = pure.NewMetrics() // give /metrics the runtime series
+			}
 		}
 		var checksum float64
 		start := time.Now()
@@ -58,7 +70,7 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		if observed {
-			writeObservability(&rep, *traceOut, *metricsOut)
+			writeObservability(&rep, *traceOut, *metricsOut, *traceBinOut)
 		}
 		return elapsed, checksum
 	}
@@ -103,7 +115,7 @@ func main() {
 
 // writeObservability exports the tasked run's trace and metrics to the files
 // requested on the command line.
-func writeObservability(rep *pure.Report, traceOut, metricsOut string) {
+func writeObservability(rep *pure.Report, traceOut, metricsOut, traceBinOut string) {
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -115,6 +127,18 @@ func writeObservability(rep *pure.Report, traceOut, metricsOut string) {
 		f.Close()
 		fmt.Printf("wrote %d trace events (%d dropped) to %s\n",
 			rep.Trace.Len(), rep.Trace.Dropped(), traceOut)
+	}
+	if traceBinOut != "" {
+		f, err := os.Create(traceBinOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteTraceBin(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote binary trace dump to %s (inspect with `puretrace analyze %s`)\n",
+			traceBinOut, traceBinOut)
 	}
 	if metricsOut != "" {
 		f, err := os.Create(metricsOut)

@@ -91,6 +91,40 @@ func BenchmarkPurePingPongObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkPurePingPongMonitored is the plain (untraced, unmetered) exchange
+// with only the live monitor enabled; the delta against BenchmarkPurePingPong
+// is the monitor's steady-state cost — an idle HTTP listener plus lazy
+// wait-record publication — which must stay under 5%.
+func BenchmarkPurePingPongMonitored(b *testing.B) {
+	for _, size := range []int{8, 1 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			err := Run(Config{NRanks: 2, MonitorAddr: "127.0.0.1:0"}, func(r *Rank) {
+				c := r.World()
+				buf := make([]byte, size)
+				c.Barrier()
+				if r.ID() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.Send(buf, 1, 0)
+						c.Recv(buf, 1, 1)
+					}
+					b.StopTimer()
+					b.SetBytes(int64(2 * size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						c.Recv(buf, 0, 0)
+						c.Send(buf, 0, 1)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func BenchmarkPureBarrier(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("%dranks", n), func(b *testing.B) {

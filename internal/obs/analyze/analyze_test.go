@@ -1,0 +1,345 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// ev is a compact Event constructor for synthetic traces.
+func ev(k obs.Kind, rank, peer int32, ts, dur, arg int64) obs.Event {
+	return obs.Event{TS: ts, Dur: dur, Arg: arg, Rank: rank, Peer: peer, Kind: k}
+}
+
+func TestMatchEagerPair(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.KSendEager, 0, 1, 100, 0, 8),
+		ev(obs.KRecvEager, 1, 0, 350, 0, 8),
+	}
+	a := Run(events, 2, Options{})
+	if a.TotalMatched != 1 || a.TotalUnmatched != 0 {
+		t.Fatalf("matched=%d unmatched=%d, want 1/0", a.TotalMatched, a.TotalUnmatched)
+	}
+	if len(a.Paths) != 1 || a.Paths[0].Path != PathEager {
+		t.Fatalf("paths = %+v, want one eager entry", a.Paths)
+	}
+	ps := a.Paths[0]
+	if ps.Latency.N != 1 || ps.Latency.Min != 250 || ps.Latency.Max != 250 {
+		t.Fatalf("latency hist = %+v, want single 250ns observation", ps.Latency)
+	}
+	if ps.Bytes != 8 {
+		t.Fatalf("bytes = %d, want 8", ps.Bytes)
+	}
+	if got := a.MatchRate(); got != 1 {
+		t.Fatalf("MatchRate = %v, want 1", got)
+	}
+}
+
+func TestMatchFIFOOrderPerPair(t *testing.T) {
+	// Two sends 0->1; receives complete in order. FIFO matching must pair
+	// first send with first recv (latency 100) and second with second (300).
+	events := []obs.Event{
+		ev(obs.KSendEager, 0, 1, 0, 0, 8),
+		ev(obs.KSendEager, 0, 1, 50, 0, 16),
+		ev(obs.KRecvEager, 1, 0, 100, 0, 8),
+		ev(obs.KRecvEager, 1, 0, 350, 0, 16),
+	}
+	a := Run(events, 2, Options{})
+	ps := a.Paths[0]
+	if ps.Matched != 2 {
+		t.Fatalf("matched = %d, want 2", ps.Matched)
+	}
+	if ps.Latency.Min != 100 || ps.Latency.Max != 300 {
+		t.Fatalf("latencies min=%d max=%d, want 100/300", ps.Latency.Min, ps.Latency.Max)
+	}
+}
+
+func TestUnmatchedListedNotDropped(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.KSendEager, 0, 1, 0, 0, 8),      // never received
+		ev(obs.KRecvRendezvous, 2, 3, 5, 0, 9), // never sent
+	}
+	a := Run(events, 4, Options{})
+	if a.TotalMatched != 0 || a.TotalUnmatched != 2 {
+		t.Fatalf("matched=%d unmatched=%d, want 0/2", a.TotalMatched, a.TotalUnmatched)
+	}
+	if len(a.Unmatched) != 2 {
+		t.Fatalf("unmatched list = %+v, want 2 entries", a.Unmatched)
+	}
+	ops := map[string]bool{}
+	for _, u := range a.Unmatched {
+		ops[u.Op] = true
+	}
+	if !ops["send"] || !ops["recv"] {
+		t.Fatalf("unmatched ops = %+v, want both send and recv", a.Unmatched)
+	}
+	if a.MatchRate() != 0 {
+		t.Fatalf("MatchRate = %v, want 0", a.MatchRate())
+	}
+}
+
+func TestUnmatchedListCapped(t *testing.T) {
+	var events []obs.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, ev(obs.KSendEager, 0, 1, int64(i), 0, 8))
+	}
+	a := Run(events, 2, Options{MaxUnmatched: 3})
+	if a.TotalUnmatched != 10 {
+		t.Fatalf("TotalUnmatched = %d, want exact 10 despite cap", a.TotalUnmatched)
+	}
+	if len(a.Unmatched) != 3 {
+		t.Fatalf("listed = %d, want capped at 3", len(a.Unmatched))
+	}
+}
+
+func TestRendezvousDecomposition(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.KSendRendezvous, 0, 1, 0, 0, 65536),
+		ev(obs.KRendezvousHandoff, 0, 1, 400, 0, 65536),
+		ev(obs.KRecvRendezvous, 1, 0, 1000, 0, 65536),
+	}
+	a := Run(events, 2, Options{})
+	ps := a.Paths[0]
+	if ps.Path != PathRendezvous || ps.Matched != 1 {
+		t.Fatalf("paths = %+v", a.Paths)
+	}
+	if ps.QueueWaitNs != 400 || ps.TransferNs != 600 {
+		t.Fatalf("queue-wait=%d transfer=%d, want 400/600", ps.QueueWaitNs, ps.TransferNs)
+	}
+}
+
+func TestCollectiveSkewRounds(t *testing.T) {
+	// Two allreduce rounds across 4 ranks on one node. Round 1: rank 3 is
+	// 900ns late. Round 2: rank 0 is 200ns late.
+	events := []obs.Event{
+		ev(obs.KAllreduce, 0, -1, 100, 1000, 1),
+		ev(obs.KAllreduce, 1, -1, 150, 950, 1),
+		ev(obs.KAllreduce, 2, -1, 120, 980, 1),
+		ev(obs.KAllreduce, 3, -1, 1000, 100, 1),
+		ev(obs.KAllreduce, 1, -1, 2000, 300, 2),
+		ev(obs.KAllreduce, 2, -1, 2010, 290, 2),
+		ev(obs.KAllreduce, 3, -1, 2020, 280, 2),
+		ev(obs.KAllreduce, 0, -1, 2200, 100, 2),
+	}
+	a := Run(events, 4, Options{})
+	c := a.Collectives
+	if c.Calls != 8 || len(c.Rounds) != 2 {
+		t.Fatalf("calls=%d rounds=%d, want 8/2", c.Calls, len(c.Rounds))
+	}
+	r1 := c.Rounds[0]
+	if r1.Round != 1 || r1.ArrivalSpreadNs != 900 || r1.LastRank != 3 || r1.Ranks != 4 {
+		t.Fatalf("round 1 = %+v", r1)
+	}
+	if r1.SlowestRank != 0 || r1.MaxDurNs != 1000 {
+		t.Fatalf("round 1 slowest = %+v", r1)
+	}
+	r2 := c.Rounds[1]
+	if r2.Round != 2 || r2.ArrivalSpreadNs != 200 || r2.LastRank != 0 {
+		t.Fatalf("round 2 = %+v", r2)
+	}
+	if c.MaxSpreadNs != 900 || c.MeanSpreadNs != 550 {
+		t.Fatalf("spread max=%d mean=%d, want 900/550", c.MaxSpreadNs, c.MeanSpreadNs)
+	}
+	if len(c.Stragglers) == 0 || c.Stragglers[0].Rank != 3 && c.Stragglers[0].Rank != 0 {
+		t.Fatalf("stragglers = %+v", c.Stragglers)
+	}
+}
+
+func TestCollectiveLargePathGroupedByOccurrence(t *testing.T) {
+	// Arg == 0 marks the large-payload path: two consecutive calls on each
+	// rank must form two rounds, not one giant group.
+	events := []obs.Event{
+		ev(obs.KReduce, 0, -1, 0, 10, 0),
+		ev(obs.KReduce, 1, -1, 5, 10, 0),
+		ev(obs.KReduce, 0, -1, 100, 10, 0),
+		ev(obs.KReduce, 1, -1, 130, 10, 0),
+	}
+	a := Run(events, 2, Options{})
+	if len(a.Collectives.Rounds) != 2 {
+		t.Fatalf("rounds = %+v, want 2 occurrence groups", a.Collectives.Rounds)
+	}
+	if !a.Collectives.Rounds[0].Large || a.Collectives.Rounds[0].ArrivalSpreadNs != 5 {
+		t.Fatalf("round 0 = %+v", a.Collectives.Rounds[0])
+	}
+	if a.Collectives.Rounds[1].ArrivalSpreadNs != 30 {
+		t.Fatalf("round 1 = %+v", a.Collectives.Rounds[1])
+	}
+}
+
+func TestCollectiveRoundsSplitByNode(t *testing.T) {
+	// Same SPTD round number on two nodes must form two groups.
+	events := []obs.Event{
+		ev(obs.KBarrier, 0, -1, 0, 10, 1),
+		ev(obs.KBarrier, 1, -1, 8, 2, 1),
+		ev(obs.KBarrier, 2, -1, 0, 10, 1),
+		ev(obs.KBarrier, 3, -1, 4, 6, 1),
+	}
+	a := Run(events, 4, Options{NodeOf: func(r int32) int { return int(r) / 2 }})
+	if len(a.Collectives.Rounds) != 2 {
+		t.Fatalf("rounds = %+v, want one per node", a.Collectives.Rounds)
+	}
+}
+
+func TestPBQBackpressureRanking(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.KPBQStall, 0, 1, 0, 100, 8),
+		ev(obs.KPBQStall, 0, 1, 200, 300, 8),
+		ev(obs.KPBQStall, 2, 3, 50, 150, 8),
+	}
+	a := Run(events, 4, Options{})
+	if len(a.PBQ) != 2 {
+		t.Fatalf("pbq = %+v, want 2 pairs", a.PBQ)
+	}
+	top := a.PBQ[0]
+	if top.Src != 0 || top.Dst != 1 || top.Stalls != 2 || top.TotalNs != 400 || top.MaxNs != 300 {
+		t.Fatalf("top pair = %+v", top)
+	}
+}
+
+func TestRankBreakdown(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.KTaskExecute, 0, -1, 0, 500, 4), // 4 chunks executed
+		ev(obs.KPBQStall, 0, 1, 600, 200, 8),
+		ev(obs.KSendEager, 0, 1, 850, 0, 8),
+		ev(obs.KStealSuccess, 1, 0, 100, 300, 2), // rank 1 stole 2 chunks
+		ev(obs.KRecvEager, 1, 0, 900, 0, 8),
+	}
+	a := Run(events, 2, Options{})
+	r0 := a.Ranks[0]
+	if r0.TaskNs != 500 || r0.TasksExecuted != 1 || r0.TaskChunks != 4 {
+		t.Fatalf("rank0 task accounting = %+v", r0)
+	}
+	if r0.BlockedNs != 200 || r0.Sends != 1 {
+		t.Fatalf("rank0 = %+v", r0)
+	}
+	// Wall = 0..850; other = 850 - 200 - 500 = 150.
+	if r0.WallNs != 850 || r0.OtherNs != 150 {
+		t.Fatalf("rank0 wall=%d other=%d, want 850/150", r0.WallNs, r0.OtherNs)
+	}
+	r1 := a.Ranks[1]
+	if r1.ChunksStolen != 2 || r1.StealNs != 300 || r1.Recvs != 1 {
+		t.Fatalf("rank1 = %+v", r1)
+	}
+}
+
+func TestCriticalPathHopsToSender(t *testing.T) {
+	// Rank 1 computes 0..100, then idles until a message from rank 0 (posted
+	// at 400) arrives at 600, then computes until 1000.  The critical path
+	// must hop to rank 0 (which computed 0..400 then sent) rather than charge
+	// the idle gap to rank 1.
+	events := []obs.Event{
+		ev(obs.KTaskExecute, 1, -1, 0, 100, 1),
+		ev(obs.KTaskExecute, 0, -1, 0, 400, 1),
+		ev(obs.KSendEager, 0, 1, 400, 0, 8),
+		ev(obs.KRecvEager, 1, 0, 600, 0, 8),
+		ev(obs.KTaskExecute, 1, -1, 600, 400, 1),
+	}
+	a := Run(events, 2, Options{})
+	cp := a.Critical
+	if cp.LengthNs != 1000 {
+		t.Fatalf("length = %d, want 1000", cp.LengthNs)
+	}
+	if cp.Hops != 1 || cp.InFlightNs != 200 {
+		t.Fatalf("hops=%d inflight=%d, want 1/200", cp.Hops, cp.InFlightNs)
+	}
+	if cp.EndRank != 1 || cp.StartRank != 0 {
+		t.Fatalf("path %d -> %d, want 0 -> 1", cp.StartRank, cp.EndRank)
+	}
+	var ns0, ns1 int64
+	for _, rs := range cp.RankNs {
+		switch rs.Rank {
+		case 0:
+			ns0 = rs.Ns
+		case 1:
+			ns1 = rs.Ns
+		}
+	}
+	if ns0 != 400 || ns1 != 400 {
+		t.Fatalf("rank shares = 0:%d 1:%d, want 400/400", ns0, ns1)
+	}
+}
+
+func TestCriticalPathStaysLocalWhenBusy(t *testing.T) {
+	// The receiver was busy right up to the receive, so the local chain (not
+	// the message edge) is critical: no hops.
+	events := []obs.Event{
+		ev(obs.KSendEager, 0, 1, 10, 0, 8),
+		ev(obs.KTaskExecute, 1, -1, 0, 500, 1),
+		ev(obs.KRecvEager, 1, 0, 500, 0, 8),
+		ev(obs.KTaskExecute, 1, -1, 500, 500, 1),
+	}
+	a := Run(events, 2, Options{})
+	if a.Critical.Hops != 0 {
+		t.Fatalf("hops = %d, want 0 (receiver never idle)", a.Critical.Hops)
+	}
+	if a.Critical.LengthNs != 1000 {
+		t.Fatalf("length = %d, want 1000", a.Critical.LengthNs)
+	}
+}
+
+func TestRunEmptyAndUnsorted(t *testing.T) {
+	a := Run(nil, 2, Options{})
+	if a.Events != 0 || a.TotalMatched != 0 || len(a.Ranks) != 2 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+	// Reversed input must produce the same matching as sorted input.
+	events := []obs.Event{
+		ev(obs.KRecvEager, 1, 0, 350, 0, 8),
+		ev(obs.KSendEager, 0, 1, 100, 0, 8),
+	}
+	a = Run(events, 2, Options{})
+	if a.TotalMatched != 1 {
+		t.Fatalf("unsorted input: matched = %d, want 1", a.TotalMatched)
+	}
+}
+
+func TestHistQuantileAndMean(t *testing.T) {
+	h := newHist()
+	for _, v := range []int64{100, 200, 300, 400} {
+		h.observe(v)
+	}
+	if h.N != 4 || h.Mean() != 250 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if q := h.Quantile(0.5); q < 200 {
+		t.Fatalf("p50 bound = %d, want >= 200", q)
+	}
+	if q := h.Quantile(0.99); q < 400 {
+		t.Fatalf("p99 bound = %d, want >= 400", q)
+	}
+	empty := newHist()
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatalf("empty hist mean/quantile must be 0")
+	}
+}
+
+func TestWriteTextReport(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.KSendEager, 0, 1, 100, 0, 8),
+		ev(obs.KRecvEager, 1, 0, 350, 0, 8),
+		ev(obs.KSendRendezvous, 1, 0, 400, 0, 65536), // unmatched
+		ev(obs.KBarrier, 0, -1, 500, 100, 1),
+		ev(obs.KBarrier, 1, -1, 550, 50, 1),
+		ev(obs.KPBQStall, 0, 1, 700, 50, 8),
+	}
+	a := Run(events, 2, Options{})
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"matched messages: 1",
+		"unmatched: 1",
+		"eager",
+		"collective skew",
+		"PBQ backpressure",
+		"per-rank breakdown",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

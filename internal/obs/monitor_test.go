@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func monitorGet(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestMonitorMetricsEndpoint(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("pure_sends_eager_total").Add(42)
+	m.Histogram("pure_steal_latency_ns", nil).Observe(123)
+	mon := NewMonitor(m, nil)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	resp, body := monitorGet(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q, want Prometheus text 0.0.4", ct)
+	}
+	snap, err := ParsePrometheus(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape does not round-trip: %v\n%s", err, body)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "pure_sends_eager_total" && c.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter missing from scrape: %+v", snap.Counters)
+	}
+
+	// The monitor counts its own scrapes on the registry it serves.
+	_, body = monitorGet(t, srv, "/metrics")
+	if !strings.Contains(body, "pure_monitor_scrapes_total 2") {
+		t.Fatalf("scrape counter missing or wrong:\n%s", body)
+	}
+}
+
+func TestMonitorNilMetricsStillValid(t *testing.T) {
+	mon := NewMonitor(nil, nil)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+	resp, body := monitorGet(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if _, err := ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("nil-registry scrape invalid: %v\n%s", err, body)
+	}
+}
+
+func TestMonitorRanksEndpoint(t *testing.T) {
+	states := []RankState{
+		{Rank: 0, State: "running"},
+		{Rank: 1, State: "blocked", Wait: &WaitState{
+			Kind: "p2p-recv", Peer: 0, Tag: 7, Comm: 1, BlockedNs: 5000,
+		}},
+		{Rank: 2, State: "done"},
+	}
+	mon := NewMonitor(nil, func() []RankState { return states })
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	resp, body := monitorGet(t, srv, "/ranks")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var view RanksView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("/ranks not valid JSON: %v\n%s", err, body)
+	}
+	if len(view.Ranks) != 3 {
+		t.Fatalf("ranks = %+v, want 3", view.Ranks)
+	}
+	blocked := view.Ranks[1]
+	if blocked.State != "blocked" || blocked.Wait == nil || blocked.Wait.Kind != "p2p-recv" || blocked.Wait.Peer != 0 {
+		t.Fatalf("blocked rank mangled: %+v", blocked)
+	}
+	if view.Ranks[0].Wait != nil {
+		t.Fatalf("running rank must omit wait: %+v", view.Ranks[0])
+	}
+}
+
+func TestMonitorRanksEmptySourceIsEmptyList(t *testing.T) {
+	mon := NewMonitor(nil, nil)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+	_, body := monitorGet(t, srv, "/ranks")
+	var view RanksView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Ranks == nil || len(view.Ranks) != 0 {
+		t.Fatalf("want empty (non-null) rank list, got %s", body)
+	}
+}
+
+func TestMonitorIndexAndPprof(t *testing.T) {
+	mon := NewMonitor(nil, nil)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	resp, body := monitorGet(t, srv, "/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", resp.StatusCode, body)
+	}
+	resp, _ = monitorGet(t, srv, "/no-such-page")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+	resp, body = monitorGet(t, srv, "/debug/pprof/goroutine?debug=1")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof goroutine = %d", resp.StatusCode)
+	}
+}

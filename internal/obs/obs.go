@@ -139,7 +139,9 @@ type Trace struct {
 }
 
 // NewTrace builds a tracer for nranks ranks with perRankEvents ring slots
-// each (0 means DefaultRankEvents).
+// each (0 means DefaultRankEvents).  The per-rank capacity rounds up to a
+// power of two so the record path can mask the write cursor instead of
+// dividing by the capacity.
 func NewTrace(nranks, perRankEvents int) *Trace {
 	if nranks <= 0 {
 		panic(fmt.Sprintf("obs: NewTrace nranks must be positive, got %d", nranks))
@@ -147,15 +149,37 @@ func NewTrace(nranks, perRankEvents int) *Trace {
 	if perRankEvents <= 0 {
 		perRankEvents = DefaultRankEvents
 	}
+	perRankEvents = ceilPow2(perRankEvents)
 	t := &Trace{start: time.Now(), ranks: make([]RankTrace, nranks)}
 	for i := range t.ranks {
 		t.ranks[i] = RankTrace{
 			rank:  int32(i),
 			start: t.start,
 			buf:   make([]Event, perRankEvents),
+			mask:  uint64(perRankEvents - 1),
 		}
 	}
 	return t
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ringCounts is the single home of the ring wraparound arithmetic: given a
+// write cursor of n total events ever recorded into a ring of the given
+// capacity, it returns how many events are retained and how many were
+// overwritten.  RankTrace.Len and Trace.Dropped both derive from it.
+func ringCounts(n uint64, capacity int) (retained int, dropped int64) {
+	if n <= uint64(capacity) {
+		return int(n), 0
+	}
+	return capacity, int64(n - uint64(capacity))
 }
 
 // NRanks returns the number of per-rank rings.
@@ -182,9 +206,8 @@ func (t *Trace) Dropped() int64 {
 	var d int64
 	for i := range t.ranks {
 		rt := &t.ranks[i]
-		if rt.n > uint64(len(rt.buf)) {
-			d += int64(rt.n - uint64(len(rt.buf)))
-		}
+		_, dropped := ringCounts(rt.n, len(rt.buf))
+		d += dropped
 	}
 	return d
 }
@@ -207,12 +230,16 @@ func (t *Trace) Events() []Event {
 
 // RankTrace is one rank's single-writer event ring.  Only the owning rank
 // may call Emit/EmitSpan/Now; any goroutine may read Events after the writer
-// has stopped.  The struct is padded so adjacent ranks' write cursors never
-// share a cacheline.
+// has stopped.  The struct is padded on both sides so adjacent ranks' write
+// cursors never share a cacheline: trailing padding alone would still let
+// rank i's cursor sit on the same line as rank i+1's leading fields when the
+// backing array is not cacheline-aligned.
 type RankTrace struct {
+	_     [64]byte
 	rank  int32
 	start time.Time
 	buf   []Event
+	mask  uint64 // len(buf)-1; capacity is always a power of two
 	n     uint64 // total events ever recorded (write cursor)
 	_     [64]byte
 }
@@ -241,26 +268,23 @@ func (rt *RankTrace) EmitDur(k Kind, peer int32, arg int64, dur int64) {
 }
 
 func (rt *RankTrace) put(e Event) {
-	rt.buf[rt.n%uint64(len(rt.buf))] = e
+	rt.buf[rt.n&rt.mask] = e
 	rt.n++
 }
 
 // Len returns the number of retained events (≤ ring capacity).
 func (rt *RankTrace) Len() int {
-	if rt.n < uint64(len(rt.buf)) {
-		return int(rt.n)
-	}
-	return len(rt.buf)
+	retained, _ := ringCounts(rt.n, len(rt.buf))
+	return retained
 }
 
 // Events returns the retained events in record order (oldest first).
 func (rt *RankTrace) Events() []Event {
-	cap64 := uint64(len(rt.buf))
 	out := make([]Event, 0, rt.Len())
-	if rt.n <= cap64 {
+	if rt.n <= uint64(len(rt.buf)) {
 		return append(out, rt.buf[:rt.n]...)
 	}
-	head := rt.n % cap64 // oldest retained slot
+	head := rt.n & rt.mask // oldest retained slot
 	out = append(out, rt.buf[head:]...)
 	out = append(out, rt.buf[:head]...)
 	return out

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace dump format, so traces survive the recording process and can
+// be analyzed offline (cmd/puretrace).  The format is versioned and
+// little-endian:
+//
+//	offset  size  field
+//	0       8     magic "PURETRCB"
+//	8       4     format version (currently 1)
+//	12      4     rank count
+//	16      8     dropped-event count (ring wraparound losses at dump time)
+//	24      8     event count
+//	32      33*n  events: TS int64, Dur int64, Arg int64, Rank int32,
+//	              Peer int32, Kind uint8
+//
+// Events are stored merged across ranks in start-time order, exactly as
+// Trace.Events returns them.
+
+// traceBinMagic identifies a trace dump; traceBinVersion is bumped on any
+// incompatible layout change (readers reject versions they do not know).
+const (
+	traceBinMagic   = "PURETRCB"
+	traceBinVersion = 1
+	traceBinRecSize = 8 + 8 + 8 + 4 + 4 + 1
+)
+
+// maxTraceBinAlloc caps the slice pre-allocation while reading a dump, so a
+// corrupt header cannot make ReadTraceBin allocate gigabytes up front.
+const maxTraceBinAlloc = 1 << 20
+
+// TraceDump is a trace read back from its binary dump: the recorded events
+// plus the recording-time metadata an analyzer needs.
+type TraceDump struct {
+	NRanks  int
+	Dropped int64
+	Events  []Event
+}
+
+// WriteTraceBin dumps the trace in the versioned binary format.  Call it
+// only after the recording ranks have stopped (the rings are single-writer).
+func WriteTraceBin(w io.Writer, t *Trace) error {
+	return WriteTraceBinEvents(w, t.Events(), t.NRanks(), t.Dropped())
+}
+
+// WriteTraceBinEvents dumps an already-merged event slice (used when the
+// events were transformed or filtered before dumping).
+func WriteTraceBinEvents(w io.Writer, events []Event, nranks int, dropped int64) error {
+	if nranks <= 0 {
+		return fmt.Errorf("obs: trace dump needs a positive rank count, got %d", nranks)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceBinMagic); err != nil {
+		return err
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceBinVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(nranks))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(dropped))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [traceBinRecSize]byte
+	for _, e := range events {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(e.TS))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(e.Dur))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.Arg))
+		binary.LittleEndian.PutUint32(rec[24:], uint32(e.Rank))
+		binary.LittleEndian.PutUint32(rec[28:], uint32(e.Peer))
+		rec[32] = byte(e.Kind)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceBin parses a dump written by WriteTraceBin.  It validates the
+// magic, the version, and the per-event rank range, and reports truncation
+// as an error rather than returning a silently short trace.
+func ReadTraceBin(r io.Reader) (*TraceDump, error) {
+	br := bufio.NewReader(r)
+	var hdr [32]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("obs: trace dump header: %w", err)
+	}
+	if string(hdr[:8]) != traceBinMagic {
+		return nil, fmt.Errorf("obs: not a trace dump (bad magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != traceBinVersion {
+		return nil, fmt.Errorf("obs: trace dump version %d not supported (want %d)", v, traceBinVersion)
+	}
+	nranks := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+	if nranks <= 0 {
+		return nil, fmt.Errorf("obs: trace dump has invalid rank count %d", nranks)
+	}
+	d := &TraceDump{
+		NRanks:  nranks,
+		Dropped: int64(binary.LittleEndian.Uint64(hdr[16:])),
+	}
+	nevents := binary.LittleEndian.Uint64(hdr[24:])
+	d.Events = make([]Event, 0, min(nevents, maxTraceBinAlloc))
+	var rec [traceBinRecSize]byte
+	for i := uint64(0); i < nevents; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("obs: trace dump truncated at event %d/%d: %w", i, nevents, err)
+		}
+		e := Event{
+			TS:   int64(binary.LittleEndian.Uint64(rec[0:])),
+			Dur:  int64(binary.LittleEndian.Uint64(rec[8:])),
+			Arg:  int64(binary.LittleEndian.Uint64(rec[16:])),
+			Rank: int32(binary.LittleEndian.Uint32(rec[24:])),
+			Peer: int32(binary.LittleEndian.Uint32(rec[28:])),
+			Kind: Kind(rec[32]),
+		}
+		if e.Rank < 0 || int(e.Rank) >= nranks {
+			return nil, fmt.Errorf("obs: trace dump event %d has rank %d outside [0,%d)", i, e.Rank, nranks)
+		}
+		d.Events = append(d.Events, e)
+	}
+	return d, nil
+}

@@ -1,0 +1,173 @@
+package pure_test
+
+// External-package tests: they drive the real §2 stencil application through
+// the comm backend (which package pure's internal tests cannot import) and
+// check the trace-analytics and binary-dump surface end to end.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/comm"
+	"repro/internal/apps/stencil"
+	"repro/pure"
+)
+
+// runTracedStencil runs the 8-rank stencil under trace + metrics and returns
+// the report.
+func runTracedStencil(t *testing.T) pure.Report {
+	t.Helper()
+	const nranks = 8
+	cfg := pure.Config{
+		NRanks:  nranks,
+		Trace:   pure.NewTrace(nranks, 0),
+		Metrics: pure.NewMetrics(),
+	}
+	rep, err := comm.RunPureWithReport(cfg, func(b comm.Backend) {
+		if _, err := stencil.Run(b, stencil.Params{ArrSize: 256, Iters: 10, WorkScale: 8, UseTask: true}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestAnalyzeStencilTrace(t *testing.T) {
+	rep := runTracedStencil(t)
+	a := rep.Analyze()
+	if a == nil {
+		t.Fatal("Analyze returned nil on a traced run")
+	}
+
+	// Acceptance bar: >= 99% of sends pair with their receives.  On a clean
+	// single-process trace every send completes, so this should be 100%.
+	if got := a.MatchRate(); got < 0.99 {
+		t.Fatalf("match rate = %.4f, want >= 0.99 (unmatched: %+v)", got, a.Unmatched)
+	}
+	if a.TotalMatched == 0 {
+		t.Fatal("no matched messages in a stencil trace")
+	}
+	// The 8 B edge exchanges ride the eager path.
+	var eager bool
+	for _, ps := range a.Paths {
+		if ps.Path == "eager" && ps.Matched > 0 && ps.Latency.N > 0 {
+			eager = true
+		}
+	}
+	if !eager {
+		t.Fatalf("no matched eager traffic: %+v", a.Paths)
+	}
+	// The closing checksum allreduce must show up as at least one collective
+	// round spanning all 8 ranks.
+	if a.Collectives.Calls == 0 || len(a.Collectives.Rounds) == 0 {
+		t.Fatalf("no collective rounds: %+v", a.Collectives)
+	}
+	full := false
+	for _, rs := range a.Collectives.Rounds {
+		if rs.Ranks == 8 {
+			full = true
+		}
+	}
+	if !full {
+		t.Fatalf("no round with all 8 ranks: %+v", a.Collectives.Rounds)
+	}
+	// Neighbour exchanges mean every rank both sends and receives.
+	if len(a.Ranks) != 8 {
+		t.Fatalf("rank breakdowns = %d, want 8", len(a.Ranks))
+	}
+	for _, rb := range a.Ranks {
+		if rb.Sends == 0 || rb.Recvs == 0 {
+			t.Fatalf("rank %d has sends=%d recvs=%d", rb.Rank, rb.Sends, rb.Recvs)
+		}
+		if rb.TasksExecuted == 0 {
+			t.Fatalf("rank %d executed no tasks", rb.Rank)
+		}
+	}
+	if a.Critical.LengthNs <= 0 {
+		t.Fatalf("critical path = %+v", a.Critical)
+	}
+
+	var text bytes.Buffer
+	if err := a.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "matched messages: ") {
+		t.Fatalf("report missing matched-messages line:\n%s", text.String())
+	}
+}
+
+// TestStencilMetricsRoundTrip round-trips the full runtime metric set of a
+// real stencil run through the Prometheus text format.
+func TestStencilMetricsRoundTrip(t *testing.T) {
+	rep := runTracedStencil(t)
+	want := rep.Metrics.Snapshot()
+	if len(want.Counters) == 0 || len(want.Histograms) == 0 {
+		t.Fatalf("stencil run registered no metrics: %+v", want)
+	}
+	var buf bytes.Buffer
+	if err := want.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pure.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("full metric set does not round-trip:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestTraceBinDumpMatchesLiveAnalysis(t *testing.T) {
+	rep := runTracedStencil(t)
+	var bin bytes.Buffer
+	if err := rep.WriteTraceBin(&bin); err != nil {
+		t.Fatal(err)
+	}
+	d, err := pure.ReadTraceBin(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NRanks != 8 || len(d.Events) != len(rep.Timeline()) {
+		t.Fatalf("dump meta: nranks=%d events=%d, want 8/%d", d.NRanks, len(d.Events), len(rep.Timeline()))
+	}
+	live := rep.Analyze()
+	offline := pure.AnalyzeDump(d)
+	if offline.TotalMatched != live.TotalMatched || offline.TotalUnmatched != live.TotalUnmatched {
+		t.Fatalf("offline analysis diverges: %d/%d vs live %d/%d",
+			offline.TotalMatched, offline.TotalUnmatched, live.TotalMatched, live.TotalUnmatched)
+	}
+	if offline.MatchRate() < 0.99 {
+		t.Fatalf("offline match rate = %.4f", offline.MatchRate())
+	}
+}
+
+func TestAnalyzeUntracedIsNil(t *testing.T) {
+	rep, err := pure.RunWithReport(pure.Config{NRanks: 2}, func(r *pure.Rank) { r.World().Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Analyze() != nil {
+		t.Error("Analyze on untraced run should be nil")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTraceBin(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("WriteTraceBin on untraced run wrote %d bytes, err %v", buf.Len(), err)
+	}
+}
+
+// TestMonitorAddrThroughPureConfig checks the public MonitorAddr plumbing.
+func TestMonitorAddrThroughPureConfig(t *testing.T) {
+	err := pure.Run(pure.Config{NRanks: 2, MonitorAddr: "127.0.0.1:0"}, func(r *pure.Rank) {
+		if r.MonitorAddr() == "" {
+			t.Error("MonitorAddr empty with monitor configured")
+		}
+		r.World().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

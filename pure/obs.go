@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 // Observability surface: re-exports of the internal/obs tracer and metrics
@@ -59,10 +60,61 @@ func (rep *Report) WriteChromeTrace(w io.Writer) error {
 	if rep.Trace == nil {
 		return nil
 	}
-	return obs.WriteChromeTrace(w, rep.Trace.Events(), func(rank int32) int {
-		if int(rank) < len(rep.PerRank) {
-			return rep.PerRank[rank].Node
-		}
-		return 0
-	})
+	return obs.WriteChromeTrace(w, rep.Trace.Events(), rep.nodeOf)
+}
+
+func (rep *Report) nodeOf(rank int32) int {
+	if int(rank) < len(rep.PerRank) {
+		return rep.PerRank[rank].Node
+	}
+	return 0
+}
+
+// Analysis is the derived trace-analytics report: message matching per
+// protocol path with latency histograms, unmatched-operation listing,
+// collective skew per round with straggler ranking, PureBufferQueue
+// backpressure hot pairs, per-rank time/work breakdown, and a critical-path
+// estimate.  See internal/obs/analyze for the field-level documentation; the
+// struct marshals to JSON and renders with WriteText.
+type Analysis = analyze.Analysis
+
+// Analyze runs the trace analytics over the run's timeline, using the
+// report's rank-to-node placement for per-node collective-round grouping.
+// It returns nil when the run was not traced.
+func (rep *Report) Analyze() *Analysis {
+	if rep.Trace == nil {
+		return nil
+	}
+	a := analyze.Run(rep.Trace.Events(), rep.Trace.NRanks(), analyze.Options{NodeOf: rep.nodeOf})
+	a.Dropped = rep.Trace.Dropped()
+	return a
+}
+
+// TraceDump is a trace read back from its binary dump (ReadTraceBin): the
+// recorded events plus the rank count and ring-drop count at dump time.
+type TraceDump = obs.TraceDump
+
+// WriteTraceBin dumps the run's trace in the versioned binary format that
+// cmd/puretrace consumes (and ReadTraceBin parses), so traces survive the
+// recording process and can be analyzed elsewhere.  It is a no-op (and
+// returns nil) when the run was not traced.
+func (rep *Report) WriteTraceBin(w io.Writer) error {
+	if rep.Trace == nil {
+		return nil
+	}
+	return obs.WriteTraceBin(w, rep.Trace)
+}
+
+// ReadTraceBin parses a binary trace dump written by Report.WriteTraceBin
+// (or obs.WriteTraceBin).
+func ReadTraceBin(r io.Reader) (*TraceDump, error) { return obs.ReadTraceBin(r) }
+
+// AnalyzeDump runs the trace analytics over a dump read back with
+// ReadTraceBin.  Node placement is not recorded in the dump, so collective
+// rounds are grouped as if all ranks share one node (exact for single-node
+// runs, an approximation otherwise).
+func AnalyzeDump(d *TraceDump) *Analysis {
+	a := analyze.Run(d.Events, d.NRanks, analyze.Options{})
+	a.Dropped = d.Dropped
+	return a
 }

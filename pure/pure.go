@@ -153,6 +153,15 @@ type Config struct {
 	// Metrics, when non-nil, maintains live counters/gauges/histograms that
 	// can be snapshotted at any time (build one with NewMetrics()).
 	Metrics *Metrics
+	// MonitorAddr, when non-empty, serves the live runtime monitor on that
+	// TCP address while the program runs: GET /metrics is a Prometheus
+	// scrape of Config.Metrics, /ranks is a JSON view of every rank's
+	// current wait state (what a blocked rank is waiting on, and for how
+	// long), and /debug/pprof exposes the standard Go profiles.  ":0" picks
+	// a free port — read it back with Rank.MonitorAddr.  The monitor serves
+	// whatever the configuration already records; it does not itself enable
+	// tracing or metrics.  See docs/OBSERVABILITY.md.
+	MonitorAddr string
 	// HangTimeout arms the runtime watchdog: if every rank is blocked in the
 	// runtime and no progress happens for this long, the run is aborted with
 	// a *RunError that names each blocked rank, what it was waiting on, and —
@@ -203,6 +212,7 @@ func coreConfig(cfg Config) core.Config {
 		OwnerSteals:    cfg.OwnerSteals,
 		Trace:          cfg.Trace,
 		Metrics:        cfg.Metrics,
+		MonitorAddr:    cfg.MonitorAddr,
 		HangTimeout:    cfg.HangTimeout,
 		Deadline:       cfg.Deadline,
 	}
@@ -266,6 +276,11 @@ func (r *Rank) Abort(err error) { r.r.Abort(err) }
 // Metrics returns the run's metrics registry (Config.Metrics), or nil when
 // metrics are disabled.  Ranks may snapshot or extend it mid-run.
 func (r *Rank) Metrics() *Metrics { return r.r.Metrics() }
+
+// MonitorAddr returns the live monitor's bound address ("" when
+// Config.MonitorAddr was not set).  With ":0" this is how a program learns
+// which port the monitor picked.
+func (r *Rank) MonitorAddr() string { return r.r.MonitorAddr() }
 
 // NewTask defines a Pure Task split into nchunks chunks.  body receives a
 // half-open chunk range [start, end) that it must process exactly once per

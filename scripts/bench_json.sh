@@ -1,14 +1,15 @@
 #!/bin/sh
 # bench_json.sh — run the PR's headline microbenchmarks and emit their
-# ns/op as machine-readable JSON (BENCH_pr4.json), so perf regressions in
-# the instrumented hot loops (the purecheck schedpoint seams must compile
-# to nothing in normal builds) are visible across commits.
+# ns/op as machine-readable JSON (BENCH_pr5.json), so perf regressions in
+# the hot loops are visible across commits.  This PR adds the end-to-end
+# ping-pong in disabled mode (the monitor/analyzer must not perturb it) and
+# the monitor-enabled variant (<5% bar, see docs/OBSERVABILITY.md).
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr4.json}
+out=${1:-BENCH_pr5.json}
 benchtime=${PURE_BENCHTIME:-1s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -21,6 +22,12 @@ go test -run XXX -bench 'BenchmarkSPTDAllreduce8B$' -benchtime "$benchtime" ./in
 
 echo "== RMA put/fence (internal/core)"
 go test -run XXX -bench 'BenchmarkRMAPut$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== Pure ping-pong, disabled observability (internal/core)"
+go test -run XXX -bench 'BenchmarkPurePingPong$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== Pure ping-pong, live monitor enabled (internal/core)"
+go test -run XXX -bench 'BenchmarkPurePingPongMonitored$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
 # Parse `BenchmarkName[/sub]-P  N  123.4 ns/op ...` lines into JSON.
 awk '

@@ -35,4 +35,20 @@ go test -race -count=1 \
 echo "== purebench RMA smoke (one-sided vs two-sided halo, quick scale)"
 go run ./cmd/purebench -quick -exp rma
 
+echo "== trace analytics smoke (traced stencil -> binary dump -> puretrace analyze)"
+tracebin="$(mktemp /tmp/pure-trace.XXXXXX.bin)"
+trap 'rm -f "$tracebin"' EXIT
+go run ./cmd/purebench -trace-bin "$tracebin"
+out="$(go run ./cmd/puretrace analyze "$tracebin")"
+echo "$out" | head -3
+case "$out" in
+*"matched messages: 0 "*)
+    echo "verify: FAIL — puretrace analyze matched no messages" >&2
+    exit 1 ;;
+*"matched messages: "*) ;;
+*)
+    echo "verify: FAIL — puretrace analyze produced no matched-message summary" >&2
+    exit 1 ;;
+esac
+
 echo "verify: OK"
