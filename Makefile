@@ -43,7 +43,7 @@ verify:
 bench:
 	go test -run XXX -bench . -benchtime=1s ./internal/core
 
-# Headline microbenchmarks as JSON (BENCH_pr5.json) for cross-commit
+# Headline microbenchmarks as JSON (BENCH_pr6.json) for cross-commit
 # comparison.
 bench-json:
 	sh scripts/bench_json.sh

@@ -15,7 +15,12 @@
 //     MPI_Win_create(comm, buf) becomes comm.WinCreate(buf),
 //     MPI_Put(win, data, target, off) becomes win.Put(data, target, off),
 //     MPI_Get(win, dest, target, off) becomes win.Get(dest, target, off),
-//     and MPI_Win_fence(win) becomes win.Fence().
+//     and MPI_Win_fence(win) becomes win.Fence();
+//   - MPI persistent requests become pure persistent operations:
+//     MPI_Send_init(comm, buf, dst, tag) becomes comm.SendInit(buf, dst, tag),
+//     MPI_Recv_init(comm, buf, src, tag) becomes comm.RecvInit(buf, src, tag),
+//     MPI_Start(op) becomes op.Start(), MPI_Wait_op(op) becomes op.Wait(),
+//     and MPI_Startall(ops...) becomes pure.Startall(ops...).
 //
 // Usage:
 //
@@ -49,18 +54,32 @@ var renamedFields = map[string]string{
 	"EagerMax": "SmallMsgMax",
 }
 
-// rmaCalls maps MPI-style one-sided free functions to the pure method the
-// call collapses onto; the first argument becomes the receiver.  minArgs is
-// the argument count including the receiver (MPI_Put/MPI_Get take exactly
+// methodCalls maps MPI-style free functions to the pure method the call
+// collapses onto; the first argument becomes the receiver.  nargs is the
+// exact argument count including the receiver (MPI_Put/MPI_Get take exactly
 // four, the rest exactly their receiver + payload).
-var rmaCalls = map[string]struct {
+var methodCalls = map[string]struct {
 	method string
 	nargs  int
 }{
+	// One-sided (RMA).
 	"MPI_Win_create": {"WinCreate", 2}, // (comm, buf)
 	"MPI_Put":        {"Put", 4},       // (win, data, target, off)
 	"MPI_Get":        {"Get", 4},       // (win, dest, target, off)
 	"MPI_Win_fence":  {"Fence", 1},     // (win)
+	// Persistent requests (MPI_Send_init family): init binds the buffer and
+	// peer once; Start/Wait reuse the bound operation every round.
+	"MPI_Send_init": {"SendInit", 4}, // (comm, buf, dst, tag)
+	"MPI_Recv_init": {"RecvInit", 4}, // (comm, buf, src, tag)
+	"MPI_Start":     {"Start", 1},    // (op)
+	"MPI_Wait_op":   {"Wait", 1},     // (op) — persistent-request wait
+}
+
+// pkgCalls maps MPI-style free functions to pure package-level functions
+// that keep their full argument list (variadic over persistent operations).
+var pkgCalls = map[string]string{
+	"MPI_Startall":    "Startall",
+	"MPI_Waitall_ops": "WaitallOps",
 }
 
 // Translate rewrites one source file's bytes.
@@ -100,7 +119,14 @@ func Translate(filename string, src []byte) ([]byte, []string, error) {
 			if !ok {
 				return true
 			}
-			rw, ok := rmaCalls[id.Name]
+			// Variadic persistent-request calls keep their arguments and
+			// move to pure package functions: MPI_Startall(a, b) ->
+			// pure.Startall(a, b).
+			if fn, ok := pkgCalls[id.Name]; ok {
+				node.Fun = &ast.SelectorExpr{X: ast.NewIdent("pure"), Sel: ast.NewIdent(fn)}
+				return true
+			}
+			rw, ok := methodCalls[id.Name]
 			if !ok {
 				return true
 			}
@@ -134,6 +160,7 @@ func Translate(filename string, src []byte) ([]byte, []string, error) {
 			}
 			switch node.Sel.Name {
 			case "Run", "Config", "Rank", "Comm", "Request",
+				"Channel", "PersistentOp", "Startall", "WaitallOps",
 				"Sum", "Prod", "Min", "Max",
 				"Float64", "Float32", "Int64", "Int32", "Uint8",
 				"Op", "DType":

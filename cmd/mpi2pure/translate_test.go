@@ -193,3 +193,90 @@ func f(c *mpibase.Comm) {
 		t.Errorf("malformed call was rewritten:\n%s", out)
 	}
 }
+
+const persistentSample = `package main
+
+import "repro/mpibase"
+
+func main() {
+	err := mpibase.Run(mpibase.Config{NRanks: 2}, func(p *mpibase.Proc) {
+		c := p.World()
+		peer := 1 - p.ID()
+		out := make([]byte, 8)
+		in := make([]byte, 8)
+		send := MPI_Send_init(c, out, peer, 0)
+		recv := MPI_Recv_init(c, in, peer, 0)
+		for i := 0; i < 4; i++ {
+			MPI_Startall(recv, send)
+			MPI_Waitall_ops(send, recv)
+		}
+		MPI_Start(send)
+		MPI_Wait_op(send)
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+`
+
+// TestTranslatePersistentOps checks the MPI persistent-request family maps
+// onto pure persistent operations: the init calls become communicator
+// methods, Start/Wait become operation methods, and the variadic
+// Startall/Waitall move to pure package functions.
+func TestTranslatePersistentOps(t *testing.T) {
+	out, warnings, err := Translate("persistent.go", []byte(persistentSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", warnings)
+	}
+	got := string(out)
+	for _, want := range []string{
+		"send := c.SendInit(out, peer, 0)",
+		"recv := c.RecvInit(in, peer, 0)",
+		"pure.Startall(recv, send)",
+		"pure.WaitallOps(send, recv)",
+		"send.Start()",
+		"send.Wait()",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("translated output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "MPI_") {
+		t.Errorf("untranslated MPI_ call remains:\n%s", got)
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), "persistent.go", out, 0); err != nil {
+		t.Fatalf("translated output does not parse: %v", err)
+	}
+}
+
+// TestTranslatePersistentSelectorSurface: the persistent-op type and
+// function names are part of the known-compatible selector surface, so
+// referencing them through the mpibase qualifier translates without
+// review-manually warnings.
+func TestTranslatePersistentSelectorSurface(t *testing.T) {
+	src := `package main
+
+import "repro/mpibase"
+
+var _ = mpibase.Startall
+var _ = mpibase.WaitallOps
+
+func f(op *mpibase.PersistentOp, ch *mpibase.Channel) {}
+`
+	out, warnings, err := Translate("surface.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Errorf("persistent-op surface should be known-compatible, got warnings: %v", warnings)
+	}
+	got := string(out)
+	for _, want := range []string{"pure.Startall", "pure.WaitallOps", "*pure.PersistentOp", "*pure.Channel"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("translated output missing %q:\n%s", want, got)
+		}
+	}
+}

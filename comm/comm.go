@@ -83,6 +83,66 @@ type Backend interface {
 	SupportsTasks() bool
 }
 
+// Channel is a persistent point-to-point endpoint bound to one peer and one
+// tag.  Over Pure it is the runtime's cached zero-allocation endpoint; over
+// backends without native endpoints it is a thin bound wrapper, so apps can
+// hoist channel setup out of their hot loops and still run everywhere.
+type Channel interface {
+	Send(buf []byte)
+	Recv(buf []byte) int
+	Isend(buf []byte) Request
+	Irecv(buf []byte) Request
+}
+
+// ChannelBackend is implemented by backends with native persistent
+// endpoints (Pure).  Apps should use SendChannelOf/RecvChannelOf, which
+// fall back to bound wrappers on other backends.
+type ChannelBackend interface {
+	SendChannel(dst, tag int) Channel
+	RecvChannel(src, tag int) Channel
+}
+
+// SendChannelOf returns a persistent send endpoint to dst with tag: the
+// backend's native endpoint when it has one, a bound wrapper otherwise.
+func SendChannelOf(b Backend, dst, tag int) Channel {
+	if cb, ok := b.(ChannelBackend); ok {
+		return cb.SendChannel(dst, tag)
+	}
+	return sendBound{b: b, peer: dst, tag: tag}
+}
+
+// RecvChannelOf returns a persistent receive endpoint from src with tag.
+func RecvChannelOf(b Backend, src, tag int) Channel {
+	if cb, ok := b.(ChannelBackend); ok {
+		return cb.RecvChannel(src, tag)
+	}
+	return recvBound{b: b, peer: src, tag: tag}
+}
+
+// sendBound / recvBound adapt a plain Backend to the Channel shape; the
+// wrong-direction methods panic like the native endpoints do.
+type sendBound struct {
+	b    Backend
+	peer int
+	tag  int
+}
+
+func (c sendBound) Send(buf []byte)          { c.b.Send(buf, c.peer, c.tag) }
+func (c sendBound) Isend(buf []byte) Request { return c.b.Isend(buf, c.peer, c.tag) }
+func (c sendBound) Recv([]byte) int          { panic("comm: Recv on a send channel") }
+func (c sendBound) Irecv([]byte) Request     { panic("comm: Irecv on a send channel") }
+
+type recvBound struct {
+	b    Backend
+	peer int
+	tag  int
+}
+
+func (c recvBound) Recv(buf []byte) int      { return c.b.Recv(buf, c.peer, c.tag) }
+func (c recvBound) Irecv(buf []byte) Request { return c.b.Irecv(buf, c.peer, c.tag) }
+func (c recvBound) Send([]byte)              { panic("comm: Send on a receive channel") }
+func (c recvBound) Isend([]byte) Request     { panic("comm: Isend on a receive channel") }
+
 // ---- Typed helpers over any backend ----
 
 // AllreduceFloat64 folds one float64 across the communicator.
@@ -193,6 +253,21 @@ func (b *pureBackend) NewTask(nchunks int, body func(start, end int64, extra any
 	return &pureTask{t: b.r.NewTask(nchunks, body)}
 }
 func (b *pureBackend) SupportsTasks() bool { return true }
+
+// pureBackend exposes the runtime's native persistent endpoints.
+func (b *pureBackend) SendChannel(dst, tag int) Channel {
+	return pureChannel{ch: b.c.SendChannel(dst, tag)}
+}
+func (b *pureBackend) RecvChannel(src, tag int) Channel {
+	return pureChannel{ch: b.c.RecvChannel(src, tag)}
+}
+
+type pureChannel struct{ ch *pure.Channel }
+
+func (c pureChannel) Send(buf []byte)          { c.ch.Send(buf) }
+func (c pureChannel) Recv(buf []byte) int      { return c.ch.Recv(buf) }
+func (c pureChannel) Isend(buf []byte) Request { return c.ch.Isend(buf) }
+func (c pureChannel) Irecv(buf []byte) Request { return c.ch.Irecv(buf) }
 
 type pureTask struct{ t *pure.Task }
 

@@ -33,6 +33,7 @@ func main() {
 	traceBinOut := flag.String("trace-bin", "", "write a binary trace dump of the tasked run (for puretrace) to this file")
 	monitorAddr := flag.String("monitor", "", "serve the live runtime monitor on this address during the tasked run (e.g. :8080)")
 	useRMA := flag.Bool("rma", true, "also run the one-sided (Put+Notify) halo-exchange variant")
+	useChannels := flag.Bool("channels", true, "also run the persistent-channel halo-exchange variant")
 	flag.Parse()
 
 	const nranks = 8
@@ -94,6 +95,34 @@ func main() {
 		return time.Since(start), checksum
 	}
 
+	// The persistent-channel variant: identical stencil, but the halo
+	// exchange binds its four neighbour endpoints once before the loop
+	// (stencil.RunChannels) instead of re-resolving the pair on every
+	// Sendrecv call — the endpoint idiom new code should prefer.
+	//
+	// Before (wrapper path, per iteration):
+	//	comm.SendrecvFloat64s(b, temp[:1], rank-1, 0, one, rank-1, 0)
+	// After (persistent channels, bound once):
+	//	loSend := comm.SendChannelOf(b, rank-1, 0)   // outside the loop
+	//	loRecv := comm.RecvChannelOf(b, rank-1, 0)
+	//	... per iteration: loRecv.Irecv(loIn); loSend.Send(loOut)
+	runChannels := func() (time.Duration, float64) {
+		var checksum float64
+		start := time.Now()
+		if err := comm.RunPure(pure.Config{NRanks: nranks}, func(b comm.Backend) {
+			res, err := stencil.RunChannels(b, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if b.Rank() == 0 {
+				checksum = res.Checksum
+			}
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(start), checksum
+	}
+
 	plain, sum1 := run(false, false)
 	tasked, sum2 := run(true, true)
 	fmt.Printf("rand-stencil over %d Pure ranks, %d iters\n", nranks, params.Iters)
@@ -103,6 +132,14 @@ func main() {
 		log.Fatalf("checksums diverged: %v vs %v", sum1, sum2)
 	}
 	fmt.Println("checksums match: task execution is semantics-preserving")
+	if *useChannels {
+		chTime, sum4 := runChannels()
+		fmt.Printf("  persistent channels: %v (checksum %.6f)\n", chTime, sum4)
+		if sum4 != sum1 {
+			log.Fatalf("channel checksum diverged: %v vs %v", sum4, sum1)
+		}
+		fmt.Println("persistent-channel halo exchange matches the wrapper trajectory")
+	}
 	if *useRMA {
 		oneSided, sum3 := runRMA()
 		fmt.Printf("  one-sided halo (Put+Notify): %v (checksum %.6f)\n", oneSided, sum3)

@@ -155,6 +155,49 @@ func Run(b comm.Backend, p Params) (Result, error) {
 		}
 	}
 
+	// Persistent graph edges.  Each shuffle edge is fixed for the whole run,
+	// so the channel endpoints and payload buffers bind once here, outside
+	// the wave loop.  (Before the Channel API this allocated a fresh payload
+	// per send and two per receive every wave and re-resolved the channel on
+	// each call; steady-state waves now reuse the same buffers and the
+	// backend's cached endpoints — allocation-free on the Pure eager path.)
+	var down []comm.Channel
+	var sbuf []byte
+	if layer < p.Layers-1 {
+		c1, c2 := ChildrenOf(j, w)
+		down = append(down, comm.SendChannelOf(b, (layer+1)*w+c1, 10))
+		if c2 != c1 {
+			down = append(down, comm.SendChannelOf(b, (layer+1)*w+c2, 10))
+		}
+		sbuf = make([]byte, 8*p.FeatureLen)
+	}
+	var up1, up2 comm.Channel
+	var rb1, rb2 []byte
+	if layer > 0 {
+		p1, p2 := ParentsOf(j, w)
+		up1 = comm.RecvChannelOf(b, (layer-1)*w+p1, 10)
+		up2 = comm.RecvChannelOf(b, (layer-1)*w+p2, 10)
+		rb1 = make([]byte, 8*p.FeatureLen)
+		rb2 = make([]byte, 8*p.FeatureLen)
+	}
+	fanOut := func() {
+		for i, v := range feat {
+			binary.LittleEndian.PutUint64(sbuf[i*8:], math.Float64bits(v))
+		}
+		for _, ch := range down {
+			ch.Send(sbuf)
+		}
+	}
+	gather := func() {
+		r1 := up1.Irecv(rb1)
+		r2 := up2.Irecv(rb2)
+		b.Waitall([]comm.Request{r1, r2})
+		for i := range in1 {
+			in1[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb1[i*8:]))
+			in2[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb2[i*8:]))
+		}
+	}
+
 	checksum := 0.0
 	for wave := 0; wave < p.Waves; wave++ {
 		switch {
@@ -164,26 +207,18 @@ func Run(b comm.Backend, p Params) (Result, error) {
 				feat[i] = math.Sin(float64(node*131+wave*17+i)) * 0.5
 			}
 			transform(WorkCost(node, wave, p.WorkScale))
-			c1, c2 := ChildrenOf(j, w)
-			sendFeat(b, feat, (layer+1)*w+c1, wave)
-			if c2 != c1 {
-				sendFeat(b, feat, (layer+1)*w+c2, wave)
-			}
+			fanOut()
 		case layer < p.Layers-1:
 			// Interior: gather from parents, combine, transform, fan out.
-			recvWave(b, in1, in2, layer, j, w, wave)
+			gather()
 			for i := range feat {
 				feat[i] = 0.5 * (in1[i] + in2[i])
 			}
 			transform(WorkCost(node, wave, p.WorkScale))
-			c1, c2 := ChildrenOf(j, w)
-			sendFeat(b, feat, (layer+1)*w+c1, wave)
-			if c2 != c1 {
-				sendFeat(b, feat, (layer+1)*w+c2, wave)
-			}
+			fanOut()
 		default:
 			// Sink: gather and accumulate the verification checksum.
-			recvWave(b, in1, in2, layer, j, w, wave)
+			gather()
 			for i := range in1 {
 				checksum += in1[i] - in2[i]*0.5
 			}
@@ -191,35 +226,4 @@ func Run(b comm.Backend, p Params) (Result, error) {
 	}
 	total := comm.AllreduceFloat64(b, checksum, comm.Sum)
 	return Result{Checksum: total, Waves: p.Waves}, nil
-}
-
-// sendFeat sends the feature array tagged by wave parity (two outstanding
-// waves cannot collide because each edge is used once per wave and channels
-// are FIFO).
-func sendFeat(b comm.Backend, feat []float64, dst, wave int) {
-	buf := make([]byte, 8*len(feat))
-	for i, v := range feat {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-	}
-	b.Send(buf, dst, 10)
-	_ = wave
-}
-
-// recvWave receives this node's two parent arrays for a wave.  A node whose
-// two parents are the same node receives two copies (matching the sender's
-// two fan-out messages).
-func recvWave(b comm.Backend, in1, in2 []float64, layer, j, w, wave int) {
-	p1, p2 := ParentsOf(j, w)
-	src1 := (layer-1)*w + p1
-	src2 := (layer-1)*w + p2
-	b1 := make([]byte, 8*len(in1))
-	b2 := make([]byte, 8*len(in2))
-	r1 := b.Irecv(b1, src1, 10)
-	r2 := b.Irecv(b2, src2, 10)
-	b.Waitall([]comm.Request{r1, r2})
-	for i := range in1 {
-		in1[i] = math.Float64frombits(binary.LittleEndian.Uint64(b1[i*8:]))
-		in2[i] = math.Float64frombits(binary.LittleEndian.Uint64(b2[i*8:]))
-	}
-	_ = wave
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/comm"
+	"repro/internal/codec"
 )
 
 // Params configures a run.
@@ -64,8 +65,18 @@ func randomWork(v float64, reps int) float64 {
 }
 
 // Run executes the stencil over the backend (rand_stencil_mpi /
-// rand_stencil_pure from the paper, §2).
-func Run(b comm.Backend, p Params) (Result, error) {
+// rand_stencil_pure from the paper, §2) with the original wrapper-path halo
+// exchange: one Sendrecv call per neighbour per iteration.
+func Run(b comm.Backend, p Params) (Result, error) { return run(b, p, false) }
+
+// RunChannels is Run with the halo exchange rewritten over persistent
+// channel endpoints: the four neighbour channels and their one-element
+// payload buffers bind once before the iteration loop, and each iteration
+// just posts Irecv/Isend on them.  Same checksum as Run; on the Pure backend
+// the steady-state exchange is allocation-free.
+func RunChannels(b comm.Backend, p Params) (Result, error) { return run(b, p, true) }
+
+func run(b comm.Backend, p Params, useChannels bool) (Result, error) {
 	if p.ArrSize < 4 || p.Iters <= 0 {
 		return Result{}, fmt.Errorf("stencil: bad params %+v", p)
 	}
@@ -100,8 +111,26 @@ func Run(b comm.Backend, p Params) (Result, error) {
 		})
 	}
 
+	// Persistent halo channels (RunChannels): both neighbour endpoints and
+	// the one-element payload buffers bind once, outside the loop.
+	var loSend, loRecv, hiSend, hiRecv comm.Channel
+	var loOut, loIn, hiOut, hiIn []byte
+	if useChannels {
+		if rank > 0 {
+			loSend = comm.SendChannelOf(b, rank-1, 0)
+			loRecv = comm.RecvChannelOf(b, rank-1, 0)
+			loOut, loIn = make([]byte, 8), make([]byte, 8)
+		}
+		if rank < n-1 {
+			hiSend = comm.SendChannelOf(b, rank+1, 0)
+			hiRecv = comm.RecvChannelOf(b, rank+1, 0)
+			hiOut, hiIn = make([]byte, 8), make([]byte, 8)
+		}
+	}
+
 	buf := make([]byte, 8)
 	one := make([]float64, 1)
+	lo, hi := make([]float64, 1), make([]float64, 1)
 	for it := 0; it < p.Iters; it++ {
 		if task != nil {
 			task.Execute(&iterArgs{iter: it})
@@ -111,16 +140,48 @@ func Run(b comm.Backend, p Params) (Result, error) {
 		for i := 1; i < arr-1; i++ {
 			a[i] = (temp[i-1] + temp[i] + temp[i+1]) / 3.0
 		}
-		// Each edge exchange is one Sendrecv with the matching neighbour.
-		// Low side first everywhere: rank 0 has no low neighbour, so the
-		// chain unwinds without deadlock.
-		if rank > 0 {
-			comm.SendrecvFloat64s(b, temp[:1], rank-1, 0, one, rank-1, 0)
-			a[0] = (one[0] + temp[0] + temp[1]) / 3.0
-		}
-		if rank < n-1 {
-			comm.SendrecvFloat64s(b, temp[arr-1:], rank+1, 0, one, rank+1, 0)
-			a[arr-1] = (temp[arr-2] + temp[arr-1] + one[0]) / 3.0
+		switch {
+		case useChannels:
+			// Post every receive, then every send, then complete: the
+			// pre-posted receives make the exchange deadlock-free without
+			// the low-side-first ordering the wrapper path needs.
+			var rl, rh comm.Request
+			if loRecv != nil {
+				rl = loRecv.Irecv(loIn)
+			}
+			if hiRecv != nil {
+				rh = hiRecv.Irecv(hiIn)
+			}
+			if loSend != nil {
+				codec.PutFloat64s(loOut, temp[:1])
+				loSend.Send(loOut)
+			}
+			if hiSend != nil {
+				codec.PutFloat64s(hiOut, temp[arr-1:])
+				hiSend.Send(hiOut)
+			}
+			if rl != nil {
+				b.Wait(rl)
+				codec.GetFloat64s(lo, loIn)
+				a[0] = (lo[0] + temp[0] + temp[1]) / 3.0
+			}
+			if rh != nil {
+				b.Wait(rh)
+				codec.GetFloat64s(hi, hiIn)
+				a[arr-1] = (temp[arr-2] + temp[arr-1] + hi[0]) / 3.0
+			}
+		default:
+			// Each edge exchange is one Sendrecv with the matching
+			// neighbour.  Low side first everywhere: rank 0 has no low
+			// neighbour, so the chain unwinds without deadlock.
+			if rank > 0 {
+				comm.SendrecvFloat64s(b, temp[:1], rank-1, 0, one, rank-1, 0)
+				a[0] = (one[0] + temp[0] + temp[1]) / 3.0
+			}
+			if rank < n-1 {
+				comm.SendrecvFloat64s(b, temp[arr-1:], rank+1, 0, one, rank+1, 0)
+				a[arr-1] = (temp[arr-2] + temp[arr-1] + one[0]) / 3.0
+			}
 		}
 		_ = buf
 	}

@@ -158,3 +158,43 @@ func TestRMAMatchesMessages(t *testing.T) {
 		t.Fatalf("single-rank RMA diverged")
 	}
 }
+
+// TestChannelsMatchWrappers: the persistent-channel halo exchange
+// (RunChannels) produces the wrapper path's exact checksum on both backends
+// — the Pure native endpoints and the bound-wrapper fallback over mpibase.
+func TestChannelsMatchWrappers(t *testing.T) {
+	p := Params{ArrSize: 128, Iters: 6, WorkScale: 4}
+	want := runPure(t, 4, p)
+
+	var chPure, chMPI Result
+	if err := comm.RunPure(pure.Config{NRanks: 4}, func(b comm.Backend) {
+		r, err := RunChannels(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			chPure = r
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := comm.RunMPI(mpibase.Config{NRanks: 4}, func(b comm.Backend) {
+		r, err := RunChannels(b, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.Rank() == 0 {
+			chMPI = r
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !closeEnough(want.Checksum, chPure.Checksum) {
+		t.Fatalf("pure channels checksum %v != wrapper %v", chPure.Checksum, want.Checksum)
+	}
+	if !closeEnough(want.Checksum, chMPI.Checksum) {
+		t.Fatalf("mpi bound-channel checksum %v != wrapper %v", chMPI.Checksum, want.Checksum)
+	}
+}

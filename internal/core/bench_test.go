@@ -27,6 +27,7 @@ func BenchmarkPurePingPong(b *testing.B) {
 	for _, size := range []int{8, 1 << 10, 64 << 10} {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
 			benchProcs(b)
+			b.ReportAllocs()
 			err := Run(Config{NRanks: 2}, func(r *Rank) {
 				c := r.World()
 				buf := make([]byte, size)
@@ -50,6 +51,135 @@ func BenchmarkPurePingPong(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkChannelPingPong is the persistent-endpoint ping-pong: the
+// endpoints are resolved once before the loop, so each iteration is purely
+// the Channel.Send/Recv fast path (no per-call cache lookup or argument
+// validation).  The delta against BenchmarkPurePingPong is the wrapper
+// overhead Comm.Send/Recv still pays per call; the delta against the raw
+// BenchmarkPBQPingPong (internal/queue) is the runtime's residual cost over
+// the bare lock-free queue.  The eager sizes must report 0 allocs/op —
+// scripts/verify.sh gates on it.
+func BenchmarkChannelPingPong(b *testing.B) {
+	for _, size := range []int{8, 1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			b.ReportAllocs()
+			err := Run(Config{NRanks: 2}, func(r *Rank) {
+				c := r.World()
+				buf := make([]byte, size)
+				peer := 1 - r.ID()
+				ping := c.SendChannel(peer, 0)
+				pong := c.RecvChannel(peer, 1)
+				if r.ID() != 0 {
+					ping, pong = c.RecvChannel(peer, 0), c.SendChannel(peer, 1)
+				}
+				c.Barrier()
+				if r.ID() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ping.Send(buf)
+						pong.Recv(buf)
+					}
+					b.StopTimer()
+					b.SetBytes(int64(2 * size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						ping.Recv(buf)
+						pong.Send(buf)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkChannelPingPongObserved is the endpoint exchange with tracing and
+// metrics on.  Because the endpoint pre-resolves its counter pointers, the
+// delta against BenchmarkChannelPingPong is the true recording cost (ring
+// write + atomic adds), with no registry map or interface hops left on the
+// path; compare the wrapper benchmarks for the pre-redesign indirection.
+func BenchmarkChannelPingPongObserved(b *testing.B) {
+	for _, size := range []int{8, 1 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			b.ReportAllocs()
+			cfg := Config{
+				NRanks:  2,
+				Trace:   obs.NewTrace(2, 1<<16),
+				Metrics: obs.NewMetrics(),
+			}
+			err := Run(cfg, func(r *Rank) {
+				c := r.World()
+				buf := make([]byte, size)
+				peer := 1 - r.ID()
+				ping := c.SendChannel(peer, 0)
+				pong := c.RecvChannel(peer, 1)
+				if r.ID() != 0 {
+					ping, pong = c.RecvChannel(peer, 0), c.SendChannel(peer, 1)
+				}
+				c.Barrier()
+				if r.ID() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ping.Send(buf)
+						pong.Recv(buf)
+					}
+					b.StopTimer()
+					b.SetBytes(int64(2 * size))
+				} else {
+					for i := 0; i < b.N; i++ {
+						ping.Recv(buf)
+						pong.Send(buf)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkChannelIsendIrecv measures the pooled nonblocking path: one
+// outstanding Isend/Irecv pair per iteration, completed with Wait.  After
+// the pools warm up this must also run at 0 allocs/op for eager payloads.
+func BenchmarkChannelIsendIrecv(b *testing.B) {
+	const size = 8
+	benchProcs(b)
+	b.ReportAllocs()
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		c := r.World()
+		buf := make([]byte, size)
+		peer := 1 - r.ID()
+		ping := c.SendChannel(peer, 0)
+		pong := c.RecvChannel(peer, 1)
+		if r.ID() != 0 {
+			ping, pong = c.RecvChannel(peer, 0), c.SendChannel(peer, 1)
+		}
+		c.Barrier()
+		if r.ID() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Wait(ping.Isend(buf))
+				c.Wait(pong.Irecv(buf))
+			}
+			b.StopTimer()
+			b.SetBytes(int64(2 * size))
+		} else {
+			for i := 0; i < b.N; i++ {
+				c.Wait(ping.Irecv(buf))
+				c.Wait(pong.Isend(buf))
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }
 

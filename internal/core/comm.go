@@ -151,100 +151,51 @@ func checkTag(tag int) {
 	}
 }
 
-// Send sends buf to dst (comm rank) with tag, blocking until the buffer is
-// reusable (eager: buffered; rendezvous: delivered).
-//
-// The common case — an intra-node eager send with no pending nonblocking
-// sends on the channel — takes an allocation-free fast path straight into
-// the PureBufferQueue.
-func (c *Comm) Send(buf []byte, dst, tag int) {
+// SendChannel returns the rank's persistent send endpoint to dst (comm
+// rank) with tag, creating and caching it on first use: repeated calls with
+// the same arguments return the identical *Channel.  Hot loops should hoist
+// the call out and reuse the endpoint; Comm.Send/Isend do the (cheap,
+// lock-free) cache lookup per call.
+func (c *Comm) SendChannel(dst, tag int) *Channel {
 	c.checkPeer(dst, "destination")
 	checkTag(tag)
-	r := c.r
-	g := c.sh.members[dst]
-	if g != r.id && len(buf) < r.rt.cfg.SmallMsgMax && r.rt.place.SameNode(r.id, g) {
-		ch := r.getChannel(chanKey{src: r.id, dst: g, tag: tag, comm: c.sh.id})
-		if ch.sendPend.head() == nil {
-			r.stats.SendsEager++
-			r.stats.BytesSent += int64(len(buf))
-			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
-			if r.trace != nil {
-				r.trace.Emit(obs.KSendEager, int32(g), int64(len(buf)))
-			}
-			if r.met != nil {
-				r.met.countSend(reqSendEager, len(buf))
-				r.met.samplePBQ(q)
-			}
-			if q.TryEnqueue(buf) {
-				return
-			}
-			// Backpressure: the PureBufferQueue is full, so this send stalls in
-			// the SSW-Loop until the receiver drains a slot.
-			var t0 int64
-			if r.trace != nil {
-				t0 = r.trace.Now()
-			}
-			if r.met != nil {
-				r.met.pbqStallWaits.Inc()
-			}
-			r.pendRec = WaitRecord{Kind: WaitP2PSend, Peer: g, Tag: tag, Comm: c.sh.id}
-			r.leafWait(func() bool { return q.TryEnqueue(buf) })
-			if r.trace != nil {
-				r.trace.EmitSpan(obs.KPBQStall, int32(g), int64(len(buf)), t0)
-			}
-			return
-		}
-	}
-	req := r.isend(c.sh.id, buf, g, tag)
-	r.waitReq(req)
+	return c.r.endpoint(c.sh.id, c.sh.members[dst], tag, epSend)
+}
+
+// RecvChannel returns the rank's persistent receive endpoint from src (comm
+// rank) with tag, creating and caching it on first use.
+func (c *Comm) RecvChannel(src, tag int) *Channel {
+	c.checkPeer(src, "source")
+	checkTag(tag)
+	return c.r.endpoint(c.sh.id, c.sh.members[src], tag, epRecv)
+}
+
+// Send sends buf to dst (comm rank) with tag, blocking until the buffer is
+// reusable (eager: buffered; rendezvous: delivered).  It is a thin wrapper
+// over the persistent endpoint cache: the common case — an intra-node eager
+// send with no pending nonblocking sends — takes the endpoint's
+// allocation-free fast path straight into the PureBufferQueue.
+func (c *Comm) Send(buf []byte, dst, tag int) {
+	c.SendChannel(dst, tag).Send(buf)
 }
 
 // Recv receives a message from src (comm rank) with tag into buf, blocking
-// until delivery; it returns the byte count.  Like Send, the intra-node
-// eager case with no pending nonblocking receives dequeues directly.
+// until delivery; it returns the byte count.  Like Send, it wraps the
+// cached receive endpoint, whose eager intra-node case dequeues directly.
 func (c *Comm) Recv(buf []byte, src, tag int) int {
-	c.checkPeer(src, "source")
-	checkTag(tag)
-	r := c.r
-	g := c.sh.members[src]
-	if g != r.id && len(buf) < r.rt.cfg.SmallMsgMax && r.rt.place.SameNode(r.id, g) {
-		ch := r.getChannel(chanKey{src: g, dst: r.id, tag: tag, comm: c.sh.id})
-		if ch.recvPend.head() == nil {
-			r.stats.RecvsEager++
-			q := ch.pbq(r.rt.cfg.PBQSlots, r.rt.cfg.SmallMsgMax)
-			if n, ok := q.TryDequeue(buf); ok {
-				r.stats.BytesReceived += int64(n)
-				r.noteEagerRecv(int32(g), n)
-				return n
-			}
-			var n int
-			r.pendRec = WaitRecord{Kind: WaitP2PRecv, Peer: g, Tag: tag, Comm: c.sh.id}
-			r.leafWait(func() bool {
-				var ok bool
-				n, ok = q.TryDequeue(buf)
-				return ok
-			})
-			r.stats.BytesReceived += int64(n)
-			r.noteEagerRecv(int32(g), n)
-			return n
-		}
-	}
-	req := r.irecv(c.sh.id, buf, g, tag)
-	return r.waitReq(req)
+	return c.RecvChannel(src, tag).Recv(buf)
 }
 
-// Isend starts a nonblocking send; complete it with Wait/Waitall.
+// Isend starts a nonblocking send; complete it with Wait/Waitall (exactly
+// once — completion recycles the request into the endpoint's pool).
 func (c *Comm) Isend(buf []byte, dst, tag int) *Request {
-	c.checkPeer(dst, "destination")
-	checkTag(tag)
-	return c.r.isend(c.sh.id, buf, c.sh.members[dst], tag)
+	return c.SendChannel(dst, tag).Isend(buf)
 }
 
-// Irecv starts a nonblocking receive; complete it with Wait/Waitall.
+// Irecv starts a nonblocking receive; complete it with Wait/Waitall
+// (exactly once — completion recycles the request into the endpoint's pool).
 func (c *Comm) Irecv(buf []byte, src, tag int) *Request {
-	c.checkPeer(src, "source")
-	checkTag(tag)
-	return c.r.irecv(c.sh.id, buf, c.sh.members[src], tag)
+	return c.RecvChannel(src, tag).Irecv(buf)
 }
 
 // Wait blocks until req completes and returns the transferred byte count.
@@ -417,8 +368,7 @@ func (c *Comm) treeBcast(buf []byte, root int) {
 	mask := 1
 	for mask < m {
 		if v&mask != 0 {
-			req := c.r.irecv(c.sh.id, buf, c.sh.members[toReal(v-mask)], collTag)
-			c.r.waitReq(req)
+			c.collRecvEP(c.sh.members[toReal(v-mask)]).Recv(buf)
 			break
 		}
 		mask <<= 1
@@ -441,19 +391,24 @@ func (c *Comm) leaderRankGlobal(i int) int {
 	return c.sh.members[c.sh.groups[i][0]]
 }
 
+// collSendEP / collRecvEP are the runtime-internal endpoint getters for the
+// reserved collective tag, keyed by *global* rank.  Application tags live
+// below collTag, so these cached endpoints never collide with user traffic,
+// and the leader trees inherit the pooled (allocation-free in steady state)
+// request path.
+func (c *Comm) collSendEP(g int) *Channel { return c.r.endpoint(c.sh.id, g, collTag, epSend) }
+func (c *Comm) collRecvEP(g int) *Channel { return c.r.endpoint(c.sh.id, g, collTag, epRecv) }
+
 func (c *Comm) sendColl(buf []byte, dstCommRank int) {
-	req := c.r.isend(c.sh.id, buf, c.sh.members[dstCommRank], collTag)
-	c.r.waitReq(req)
+	c.collSendEP(c.sh.members[dstCommRank]).Send(buf)
 }
 
 func (c *Comm) sendLeader(buf []byte, nodeIdx int) {
-	req := c.r.isend(c.sh.id, buf, c.leaderRankGlobal(nodeIdx), collTag)
-	c.r.waitReq(req)
+	c.collSendEP(c.leaderRankGlobal(nodeIdx)).Send(buf)
 }
 
 func (c *Comm) recvLeader(buf []byte, nodeIdx int) {
-	req := c.r.irecv(c.sh.id, buf, c.leaderRankGlobal(nodeIdx), collTag)
-	c.r.waitReq(req)
+	c.collRecvEP(c.leaderRankGlobal(nodeIdx)).Recv(buf)
 }
 
 // leaderDissemination synchronizes the node leaders with the classic
@@ -467,8 +422,8 @@ func (c *Comm) leaderDissemination(myNi int) {
 	for dist := 1; dist < m; dist *= 2 {
 		to := (myNi + dist) % m
 		from := (myNi - dist + m) % m
-		reqS := c.r.isend(c.sh.id, one, c.leaderRankGlobal(to), collTag)
-		reqR := c.r.irecv(c.sh.id, in, c.leaderRankGlobal(from), collTag)
+		reqS := c.collSendEP(c.leaderRankGlobal(to)).Isend(one)
+		reqR := c.collRecvEP(c.leaderRankGlobal(from)).Irecv(in)
 		c.r.waitReq(reqS)
 		c.r.waitReq(reqR)
 	}
@@ -515,8 +470,7 @@ func (c *Comm) leaderBcast(myNi, rootNi, rootGlobal int, buf []byte) {
 	mask := 1
 	for mask < m {
 		if v&mask != 0 {
-			req := c.r.irecv(c.sh.id, buf, agent(toReal(v-mask)), collTag)
-			c.r.waitReq(req)
+			c.collRecvEP(agent(toReal(v - mask))).Recv(buf)
 			break
 		}
 		mask <<= 1
@@ -524,8 +478,7 @@ func (c *Comm) leaderBcast(myNi, rootNi, rootGlobal int, buf []byte) {
 	mask >>= 1
 	for mask > 0 {
 		if v+mask < m && v&(mask-1) == 0 && v&mask == 0 {
-			req := c.r.isend(c.sh.id, buf, agent(toReal(v+mask)), collTag)
-			c.r.waitReq(req)
+			c.collSendEP(agent(toReal(v + mask))).Send(buf)
 		}
 		mask >>= 1
 	}
@@ -590,13 +543,11 @@ func (c *Comm) Gather(in, out []byte, root int) {
 			if cr == root {
 				continue
 			}
-			req := c.r.irecv(c.sh.id, out[cr*len(in):(cr+1)*len(in)], c.sh.members[cr], collTag)
-			c.r.waitReq(req)
+			c.collRecvEP(c.sh.members[cr]).Recv(out[cr*len(in) : (cr+1)*len(in)])
 		}
 		return
 	}
-	req := c.r.isend(c.sh.id, in, c.sh.members[root], collTag)
-	c.r.waitReq(req)
+	c.collSendEP(c.sh.members[root]).Send(in)
 }
 
 // Allgather collects every member's in payload into every member's out
@@ -625,13 +576,11 @@ func (c *Comm) Scatter(in, out []byte, root int) {
 			if cr == root {
 				continue
 			}
-			req := c.r.isend(c.sh.id, in[cr*len(out):(cr+1)*len(out)], c.sh.members[cr], collTag)
-			c.r.waitReq(req)
+			c.collSendEP(c.sh.members[cr]).Send(in[cr*len(out) : (cr+1)*len(out)])
 		}
 		return
 	}
-	req := c.r.irecv(c.sh.id, out, c.sh.members[root], collTag)
-	c.r.waitReq(req)
+	c.collRecvEP(c.sh.members[root]).Recv(out)
 }
 
 // Sendrecv posts the receive, performs the send, and completes both — the
@@ -639,12 +588,8 @@ func (c *Comm) Scatter(in, out []byte, root int) {
 // halo exchanges in the bundled apps hand-roll).  It returns the received
 // byte count.
 func (c *Comm) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) int {
-	c.checkPeer(dst, "destination")
-	c.checkPeer(src, "source")
-	checkTag(sendTag)
-	checkTag(recvTag)
-	rreq := c.r.irecv(c.sh.id, recvBuf, c.sh.members[src], recvTag)
-	sreq := c.r.isend(c.sh.id, sendBuf, c.sh.members[dst], sendTag)
+	rreq := c.RecvChannel(src, recvTag).Irecv(recvBuf)
+	sreq := c.SendChannel(dst, sendTag).Isend(sendBuf)
 	c.r.waitReq(sreq)
 	return c.r.waitReq(rreq)
 }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestEndpointIdentity: repeated SendChannel/RecvChannel calls with the same
+// (peer, tag, comm) return the identical cached endpoint, and the endpoints
+// front the same persistent channel the legacy wrappers use.
+func TestEndpointIdentity(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		peer := 1 - r.ID()
+		s1 := c.SendChannel(peer, 5)
+		s2 := c.SendChannel(peer, 5)
+		if s1 != s2 {
+			t.Errorf("rank %d: SendChannel(%d, 5) returned distinct endpoints", r.ID(), peer)
+		}
+		r1 := c.RecvChannel(peer, 5)
+		r2 := c.RecvChannel(peer, 5)
+		if r1 != r2 {
+			t.Errorf("rank %d: RecvChannel(%d, 5) returned distinct endpoints", r.ID(), peer)
+		}
+		if s1 == r1 {
+			t.Errorf("rank %d: send and recv endpoints for the same pair must differ", r.ID())
+		}
+		if s1.Peer() != peer || s1.Tag() != 5 {
+			t.Errorf("rank %d: endpoint identity (peer %d, tag %d), want (%d, 5)",
+				r.ID(), s1.Peer(), s1.Tag(), peer)
+		}
+	})
+}
+
+// TestEndpointIsolation: endpoints with distinct tags or communicators are
+// distinct objects, and traffic on one never surfaces on the other.
+func TestEndpointIsolation(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		peer := 1 - r.ID()
+		if c.SendChannel(peer, 1) == c.SendChannel(peer, 2) {
+			t.Errorf("rank %d: distinct tags share an endpoint", r.ID())
+		}
+		sub := c.Split(0, c.Rank())
+		if c.SendChannel(peer, 1) == sub.SendChannel(peer, 1) {
+			t.Errorf("rank %d: distinct comms share an endpoint", r.ID())
+		}
+		// Same tag on the two comms: messages must match per communicator.
+		if r.ID() == 0 {
+			c.SendChannel(1, 1).Send([]byte("world"))
+			sub.SendChannel(1, 1).Send([]byte("sub"))
+		} else {
+			buf := make([]byte, 16)
+			n := sub.RecvChannel(0, 1).Recv(buf)
+			if string(buf[:n]) != "sub" {
+				t.Errorf("sub comm got %q, want %q", buf[:n], "sub")
+			}
+			n = c.RecvChannel(0, 1).Recv(buf)
+			if string(buf[:n]) != "world" {
+				t.Errorf("world comm got %q, want %q", buf[:n], "world")
+			}
+		}
+		c.Barrier()
+	})
+}
+
+// TestEndpointLegacyFIFO: mixed traffic — explicit endpoint ops interleaved
+// with legacy Comm.Send/Isend on the same (peer, tag) pair — preserves FIFO
+// order, because the wrappers resolve to the very same endpoint and channel.
+func TestEndpointLegacyFIFO(t *testing.T) {
+	const k = 64
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			ep := c.SendChannel(1, 9)
+			for i := 0; i < k; i++ {
+				msg := []byte(fmt.Sprintf("m%03d", i))
+				switch i % 4 {
+				case 0:
+					ep.Send(msg)
+				case 1:
+					c.Send(msg, 1, 9)
+				case 2:
+					c.Wait(ep.Isend(msg))
+				default:
+					c.Wait(c.Isend(msg, 1, 9))
+				}
+			}
+		} else {
+			ep := c.RecvChannel(0, 9)
+			buf := make([]byte, 16)
+			for i := 0; i < k; i++ {
+				var n int
+				switch i % 3 {
+				case 0:
+					n = ep.Recv(buf)
+				case 1:
+					n = c.Recv(buf, 0, 9)
+				default:
+					n = c.Wait(ep.Irecv(buf))
+				}
+				if want := fmt.Sprintf("m%03d", i); string(buf[:n]) != want {
+					t.Errorf("message %d: got %q, want %q (FIFO violated)", i, buf[:n], want)
+				}
+			}
+		}
+	})
+}
+
+// TestEndpointConcurrentFirstUse: many rank pairs create endpoints for
+// fresh keys simultaneously and exchange through them immediately — the
+// concurrent-creation race `go test -race` watches, complementing the
+// purecheck model's deterministic exploration.
+func TestEndpointConcurrentFirstUse(t *testing.T) {
+	const nranks = 8
+	run(t, nranks, func(r *Rank) {
+		c := r.World()
+		me := r.ID()
+		buf := make([]byte, 8)
+		for tag := 0; tag < 8; tag++ {
+			for peer := 0; peer < nranks; peer++ {
+				if peer == me {
+					continue
+				}
+				// Both directions created concurrently with the peer's.
+				var sreq, rreq *Request
+				sreq = c.SendChannel(peer, tag).Isend([]byte{byte(me), byte(tag)})
+				rreq = c.RecvChannel(peer, tag).Irecv(buf[:2])
+				n := c.Wait(rreq)
+				c.Wait(sreq)
+				if n != 2 || buf[0] != byte(peer) || buf[1] != byte(tag) {
+					t.Errorf("rank %d tag %d: got (%d, %v) from %d", me, tag, n, buf[:n], peer)
+				}
+			}
+		}
+	})
+}
+
+// TestEndpointRendezvous: endpoint ops above SmallMsgMax take the
+// rendezvous path with pooled requests and still deliver exactly.
+func TestEndpointRendezvous(t *testing.T) {
+	const size = DefaultSmallMsgMax * 2
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			ep := c.SendChannel(1, 0)
+			msg := bytes.Repeat([]byte{0xab}, size)
+			for i := 0; i < 4; i++ {
+				ep.Send(msg)
+			}
+		} else {
+			ep := c.RecvChannel(0, 0)
+			buf := make([]byte, size)
+			for i := 0; i < 4; i++ {
+				if n := ep.Recv(buf); n != size || buf[size-1] != 0xab {
+					t.Errorf("round %d: got %d bytes, want %d", i, n, size)
+				}
+			}
+		}
+	})
+}
+
+// TestEndpointRequestPoolReuse: steady-state nonblocking traffic recycles
+// request objects through the endpoint pool instead of allocating.
+func TestEndpointRequestPoolReuse(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			ep := c.SendChannel(1, 0)
+			first := ep.Isend([]byte("a"))
+			c.Wait(first)
+			for i := 0; i < 8; i++ {
+				req := ep.Isend([]byte("b"))
+				if req != first {
+					t.Errorf("iteration %d: pooled request not reused (got %p, want %p)", i, req, first)
+				}
+				c.Wait(req)
+			}
+		} else {
+			buf := make([]byte, 4)
+			for i := 0; i < 9; i++ {
+				c.Recv(buf, 0, 0)
+			}
+		}
+	})
+}
+
+// TestEndpointDirectionPanics: using an endpoint against its direction is a
+// programming error caught immediately.
+func TestEndpointDirectionPanics(t *testing.T) {
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		r.World().SendChannel(1, 0).Recv(make([]byte, 8))
+	})
+	if err == nil {
+		t.Fatal("want the direction-misuse panic to surface as a run error")
+	}
+}
+
+// TestPersistentOps: the MPI_Send_init/MPI_Recv_init analogue — init once,
+// Start/Wait many times, including Startall over a symmetric exchange.
+func TestPersistentOps(t *testing.T) {
+	const rounds = 16
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		peer := 1 - r.ID()
+		out := make([]byte, 8)
+		in := make([]byte, 8)
+		send := c.SendInit(out, peer, 0)
+		recv := c.RecvInit(in, peer, 0)
+		for i := 0; i < rounds; i++ {
+			out[0], out[1] = byte(r.ID()), byte(i)
+			Startall(send, recv)
+			WaitallOps(send, recv)
+			if in[0] != byte(peer) || in[1] != byte(i) {
+				t.Errorf("rank %d round %d: got (%d, %d)", r.ID(), i, in[0], in[1])
+			}
+		}
+	})
+}
+
+// TestPersistentOpRestartPanics: restarting an op before completing the
+// previous start is refused (MPI semantics).
+func TestPersistentOpRestartPanics(t *testing.T) {
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			op := c.SendInit(make([]byte, 8), 1, 0)
+			op.Start()
+			defer func() {
+				recover() // the double-start panic
+				op.Wait()
+				c.Send(make([]byte, 8), 1, 1) // release rank 1
+			}()
+			op.Start()
+		} else {
+			buf := make([]byte, 8)
+			c.Recv(buf, 0, 0)
+			c.Recv(buf, 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndpointTableGrowth: more distinct endpoints than the initial table
+// size, all still resolving to their own identity after rehashing.
+func TestEndpointTableGrowth(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		c := r.World()
+		peer := 1 - r.ID()
+		eps := make(map[*Channel]int, 64)
+		for tag := 0; tag < 64; tag++ {
+			eps[c.SendChannel(peer, tag)] = tag
+		}
+		if len(eps) != 64 {
+			t.Errorf("rank %d: %d distinct endpoints for 64 tags", r.ID(), len(eps))
+		}
+		for tag := 0; tag < 64; tag++ {
+			ep := c.SendChannel(peer, tag)
+			if eps[ep] != tag {
+				t.Errorf("rank %d: tag %d resolved to the tag-%d endpoint after growth", r.ID(), tag, eps[ep])
+			}
+		}
+	})
+}

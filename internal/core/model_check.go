@@ -1,0 +1,27 @@
+//go:build purecheck
+
+package core
+
+import (
+	"sync"
+
+	"repro/internal/queue"
+)
+
+// ModelChannelTable is a purecheck-only harness over the shared
+// channel-manager map: it lets internal/check drive the real
+// endpoint-creation seam (lookupChannel + the CAS-once PBQ bind) from
+// cooperative model threads without bootstrapping a full runtime.  The two
+// halves of a pair racing through Endpoint on first use is exactly the race
+// newEndpoint runs when both ranks touch a fresh (src, dst, tag, comm) key.
+type ModelChannelTable struct {
+	m sync.Map
+}
+
+// Endpoint resolves the channel for (src, dst, tag) the way endpoint
+// creation does and binds its eager queue, returning both so the model can
+// assert that every interleaving converges on one shared object pair.
+func (t *ModelChannelTable) Endpoint(src, dst, tag, slots, maxPayload int) (any, *queue.PBQ) {
+	ch := lookupChannel(&t.m, chanKey{src: src, dst: dst, tag: tag, comm: 1})
+	return ch, ch.pbq(slots, maxPayload)
+}

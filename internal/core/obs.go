@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/obs"
-	"repro/internal/queue"
 )
 
 // metricSet pre-resolves the runtime's metric handles once at launch so the
@@ -188,24 +187,6 @@ func (r *Rank) attachObs() {
 		if met != nil {
 			met.stealLatency.Observe(ns)
 		}
-	}
-}
-
-// samplePBQ records queue depth (and is the single place the depth gauge is
-// fed, so disabled runs never read the queue indices).
-func (m *metricSet) samplePBQ(q *queue.PBQ) {
-	m.pbqDepthMax.Max(int64(q.Len()))
-}
-
-// noteEagerRecv records an eager receive completion on the fast path (Comm.Recv
-// bypasses the request machinery, so progressRecv never sees these).
-func (r *Rank) noteEagerRecv(peer int32, n int) {
-	if r.trace != nil {
-		r.trace.Emit(obs.KRecvEager, peer, int64(n))
-	}
-	if r.met != nil {
-		r.met.recvsEager.Inc()
-		r.met.bytesReceived.Add(int64(n))
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,23 +33,28 @@ type channel struct {
 	recvSeq  uint64  // rendezvous ticket counter, owned by receiver
 }
 
-// reqList is a tiny FIFO of in-flight requests, owned by one rank.
+// reqList is a tiny FIFO of in-flight requests, owned by one rank.  The
+// backing array is retained across drain cycles (the offset rewinds to 0
+// whenever the list empties), so steady-state push/pop never allocates —
+// it only grows to the high-water mark of simultaneously pending requests.
 type reqList struct {
-	q []*Request
+	q   []*Request
+	off int
 }
 
 func (l *reqList) push(r *Request) { l.q = append(l.q, r) }
 func (l *reqList) head() *Request {
-	if len(l.q) == 0 {
+	if l.off == len(l.q) {
 		return nil
 	}
-	return l.q[0]
+	return l.q[l.off]
 }
 func (l *reqList) pop() {
-	l.q[0] = nil
-	l.q = l.q[1:]
-	if len(l.q) == 0 {
-		l.q = nil // reset backing array so it can't grow without bound
+	l.q[l.off] = nil
+	l.off++
+	if l.off == len(l.q) {
+		l.q = l.q[:0]
+		l.off = 0
 	}
 }
 
@@ -79,8 +85,8 @@ type remoteChannel struct {
 	msgs []netMsg
 
 	// Reliable-path state (untouched on the fault-free path).
-	sendSeq uint64        // last sequence assigned; owned by the sending rank
-	arrived atomic.Uint64 // highest contiguous seq accepted into msgs (the ack)
+	sendSeq uint64            // last sequence assigned; owned by the sending rank
+	arrived atomic.Uint64     // highest contiguous seq accepted into msgs (the ack)
 	pending map[uint64][]byte // out-of-order arrivals keyed by seq (guarded by mu)
 	hold    *netMsg           // reorder-injection hold slot (guarded by mu)
 	dupes   int64             // duplicates discarded at the NIC (guarded by mu)
@@ -104,10 +110,24 @@ func (r *Rank) getChannel(key chanKey) *channel {
 	if ch, ok := r.chanCache[key]; ok {
 		return ch
 	}
-	v, _ := r.rt.channels.LoadOrStore(key, &channel{})
-	ch := v.(*channel)
+	ch := lookupChannel(&r.rt.channels, key)
 	r.chanCache[key] = ch
 	return ch
+}
+
+// lookupChannel resolves key in the shared channel-manager map, creating the
+// channel on demand.  This is the endpoint-creation seam: the two ranks of a
+// pair race to create the same channel on first use (typically from
+// newEndpoint), and the schedpoints let the purecheck model explore every
+// interleaving of that race.
+func lookupChannel(m *sync.Map, key chanKey) *channel {
+	schedpoint("core:chan:lookup")
+	if v, ok := m.Load(key); ok {
+		return v.(*channel)
+	}
+	schedpoint("core:chan:create")
+	v, _ := m.LoadOrStore(key, &channel{})
+	return v.(*channel)
 }
 
 func (r *Rank) getRemote(key chanKey) *remoteChannel {
@@ -124,6 +144,7 @@ func (ch *channel) pbq(slots, maxPayload int) *queue.PBQ {
 	if q := ch.pbqOnce.Load(); q != nil {
 		return q
 	}
+	schedpoint("core:pbq:create")
 	q := queue.NewPBQ(slots, maxPayload)
 	if ch.pbqOnce.CompareAndSwap(nil, q) {
 		return q
@@ -180,6 +201,14 @@ type Request struct {
 	// done once flow.applied covers flowSeq (the target applied the frame).
 	flow    *rmaFlow
 	flowSeq uint64
+
+	// Endpoint request pooling: requests created on a Channel carry their
+	// owner and return to its free list when waited, so steady-state
+	// nonblocking traffic recycles a handful of request objects instead of
+	// allocating one per operation.
+	owner      *Channel
+	nextFree   *Request
+	pooledFree bool
 }
 
 // Done reports whether the request has completed.  Completion only advances
@@ -332,10 +361,14 @@ func waitKindFor(k reqKind) WaitKind {
 
 // waitReq blocks (in the SSW-Loop) until req completes and returns the byte
 // count for receives.  While blocked, the rank publishes a wait record so the
-// watchdog can name what (and whom) it is waiting on.
+// watchdog can name what (and whom) it is waiting on.  Completion releases
+// endpoint-pooled requests back to their owner: a request handle must be
+// waited exactly once and is dead afterwards.
 func (r *Rank) waitReq(req *Request) int {
 	if req.done {
-		return req.n
+		n := req.n
+		releaseReq(req)
+		return n
 	}
 	r.pendRec = WaitRecord{
 		Kind: waitKindFor(req.kind), Peer: int(req.peer),
@@ -399,7 +432,9 @@ func (r *Rank) waitReq(req *Request) int {
 			return req.done
 		})
 	}
-	return req.n
+	n := req.n
+	releaseReq(req)
+	return n
 }
 
 // progressSend advances the sender-side pending list head of ch.

@@ -248,6 +248,10 @@ type Rank struct {
 	// paper's channels are persistent objects reused for the whole program.
 	chanCache map[chanKey]*channel
 	remCache  map[chanKey]*remoteChannel
+	// eps is the persistent-endpoint cache (Comm.SendChannel/RecvChannel):
+	// an open-addressed table owned by this rank's goroutine, so repeat
+	// pairs resolve with one hash and no locks.
+	eps epTable
 
 	// One-sided communication state, all owned by this rank's goroutine:
 	// incoming remote flows to drain, outstanding link-layer frame sends to

@@ -36,6 +36,51 @@ func (c *Comm) Irecv(buf []byte, src, tag int) *Request { return c.c.Irecv(buf, 
 // Wait blocks until req completes; returns the byte count for receives.
 func (c *Comm) Wait(req *Request) int { return c.c.Wait(req) }
 
+// Channel is a persistent point-to-point endpoint: the (peer, tag, comm)
+// resolution, trace/metric handles, and request pool are bound once, so its
+// Send/Recv fast paths are allocation-free for eager payloads and Isend/Irecv
+// recycle pooled requests.  Hoist endpoints out of hot loops:
+//
+//	ping := c.SendChannel(peer, 0)
+//	pong := c.RecvChannel(peer, 1)
+//	for i := 0; i < iters; i++ {
+//		ping.Send(buf)
+//		pong.Recv(buf)
+//	}
+//
+// A Channel belongs to the rank that created it and must not be shared.
+type Channel = core.Channel
+
+// PersistentOp is a prebound Start/Wait operation (the analogue of MPI's
+// persistent requests, MPI_Send_init / MPI_Recv_init).
+type PersistentOp = core.PersistentOp
+
+// SendChannel returns the cached persistent send endpoint for (dst, tag);
+// repeated calls with the same arguments return the identical endpoint.
+func (c *Comm) SendChannel(dst, tag int) *Channel { return c.c.SendChannel(dst, tag) }
+
+// RecvChannel returns the cached persistent receive endpoint for (src, tag).
+func (c *Comm) RecvChannel(src, tag int) *Channel { return c.c.RecvChannel(src, tag) }
+
+// SendInit creates a persistent send of buf to dst with tag (MPI_Send_init);
+// post it with Start or Startall, complete it with its Wait.
+func (c *Comm) SendInit(buf []byte, dst, tag int) *PersistentOp {
+	return c.c.SendInit(buf, dst, tag)
+}
+
+// RecvInit creates a persistent receive into buf from src with tag
+// (MPI_Recv_init).
+func (c *Comm) RecvInit(buf []byte, src, tag int) *PersistentOp {
+	return c.c.RecvInit(buf, src, tag)
+}
+
+// Startall posts every persistent operation (MPI_Startall), receives first.
+func Startall(ops ...*PersistentOp) { core.Startall(ops...) }
+
+// WaitallOps completes every persistent operation (MPI_Waitall over
+// persistent requests).
+func WaitallOps(ops ...*PersistentOp) { core.WaitallOps(ops...) }
+
 // Waitall completes all requests.
 func (c *Comm) Waitall(reqs ...*Request) { c.c.Waitall(reqs...) }
 

@@ -1,35 +1,46 @@
 #!/bin/sh
 # bench_json.sh — run the PR's headline microbenchmarks and emit their
-# ns/op as machine-readable JSON (BENCH_pr5.json), so perf regressions in
-# the hot loops are visible across commits.  This PR adds the end-to-end
-# ping-pong in disabled mode (the monitor/analyzer must not perturb it) and
-# the monitor-enabled variant (<5% bar, see docs/OBSERVABILITY.md).
+# ns/op AND allocs/op as machine-readable JSON (BENCH_pr6.json), so perf and
+# allocation regressions in the hot loops are visible across commits.  This
+# PR adds the persistent-channel endpoint benchmarks (explicit Channel API,
+# the observed variant, and pooled Isend/Irecv) and -benchmem everywhere:
+# the eager endpoint paths must stay at zero allocations per op.
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr5.json}
+out=${1:-BENCH_pr6.json}
 benchtime=${PURE_BENCHTIME:-1s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 echo "== PBQ ping-pong (internal/queue)"
-go test -run XXX -bench 'BenchmarkPBQPingPong$' -benchtime "$benchtime" ./internal/queue | tee -a "$tmp"
+go test -run XXX -bench 'BenchmarkPBQPingPong$' -benchmem -benchtime "$benchtime" ./internal/queue | tee -a "$tmp"
 
 echo "== SPTD allreduce (internal/collective)"
-go test -run XXX -bench 'BenchmarkSPTDAllreduce8B$' -benchtime "$benchtime" ./internal/collective | tee -a "$tmp"
+go test -run XXX -bench 'BenchmarkSPTDAllreduce8B$' -benchmem -benchtime "$benchtime" ./internal/collective | tee -a "$tmp"
 
 echo "== RMA put/fence (internal/core)"
-go test -run XXX -bench 'BenchmarkRMAPut$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+go test -run XXX -bench 'BenchmarkRMAPut$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
-echo "== Pure ping-pong, disabled observability (internal/core)"
-go test -run XXX -bench 'BenchmarkPurePingPong$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+echo "== Pure ping-pong, wrapper path (internal/core)"
+go test -run XXX -bench 'BenchmarkPurePingPong$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== Pure ping-pong, persistent channel endpoints (internal/core)"
+go test -run XXX -bench 'BenchmarkChannelPingPong$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== Channel ping-pong with tracing+metrics enabled (internal/core)"
+go test -run XXX -bench 'BenchmarkChannelPingPongObserved$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== Channel pooled Isend/Irecv (internal/core)"
+go test -run XXX -bench 'BenchmarkChannelIsendIrecv$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
 echo "== Pure ping-pong, live monitor enabled (internal/core)"
-go test -run XXX -bench 'BenchmarkPurePingPongMonitored$' -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+go test -run XXX -bench 'BenchmarkPurePingPongMonitored$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
-# Parse `BenchmarkName[/sub]-P  N  123.4 ns/op ...` lines into JSON.
+# Parse `BenchmarkName[/sub]-P  N  123.4 ns/op  0 B/op  0 allocs/op` lines
+# into JSON: ns under the bench name, allocs/op under "<name>:allocs".
 awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
@@ -40,6 +51,11 @@ BEGIN { print "{"; first = 1 }
             if (!first) printf ",\n"
             first = 0
             printf "  \"%s\": %s", name, $i
+        }
+        if ($(i + 1) == "allocs/op") {
+            if (!first) printf ",\n"
+            first = 0
+            printf "  \"%s:allocs\": %s", name, $i
         }
     }
 }

@@ -32,6 +32,24 @@ go test -race -count=1 \
     -run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection|TestRMA' \
     ./internal/core ./internal/ssw ./pure
 
+echo "== zero-allocation gate (eager persistent-channel endpoint hot paths)"
+# The Channel API's whole point is an allocation-free eager fast path; this
+# gate is machine-independent (allocs/op, not ns/op), so it holds on any
+# hardware.  Both blocking endpoints and the pooled nonblocking pair must
+# report 0 allocs/op.
+allocout="$(go test -run XXX -bench 'BenchmarkChannelPingPong$|BenchmarkChannelIsendIrecv$' \
+    -benchmem -benchtime 5000x ./internal/core)"
+echo "$allocout" | grep '^Benchmark'
+bad="$(echo "$allocout" | awk '/^Benchmark/ {
+    for (i = 2; i < NF; i++)
+        if ($(i + 1) == "allocs/op" && $i + 0 != 0) print $1, $i, "allocs/op"
+}')"
+if [ -n "$bad" ]; then
+    echo "verify: FAIL — eager endpoint benchmarks allocate:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
 echo "== purebench RMA smoke (one-sided vs two-sided halo, quick scale)"
 go run ./cmd/purebench -quick -exp rma
 
