@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test race chaos check fuzz verify bench bench-json analyze
+.PHONY: build test race chaos chaos-net check fuzz verify bench bench-json analyze
 
 build:
 	go build ./...
@@ -35,6 +35,15 @@ chaos:
 		-run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection|TestRMA' \
 		./internal/core ./internal/ssw ./pure
 
+# Chaos against the real TCP transport: full runtimes over real sockets
+# in one process (lossy links, kill-link reconnect, partition-to-death)
+# under the race detector, then real OS processes (SIGKILL a node
+# mid-Allreduce, 15%-lossy two-process run) plus the transport unit
+# suite and the purerun launcher tests.  See docs/TRANSPORT.md.
+chaos-net:
+	go test -race -count=1 -run 'TestChaosTCP' ./internal/core
+	go test -count=1 ./internal/transport ./internal/livechaos ./cmd/purerun
+
 # The full gate: build + vet + tests + race detector on the lock-free
 # packages.  Same script CI runs.
 verify:
@@ -43,7 +52,7 @@ verify:
 bench:
 	go test -run XXX -bench . -benchtime=1s ./internal/core
 
-# Headline microbenchmarks as JSON (BENCH_pr6.json) for cross-commit
+# Headline microbenchmarks as JSON (BENCH_pr7.json) for cross-commit
 # comparison.
 bench-json:
 	sh scripts/bench_json.sh

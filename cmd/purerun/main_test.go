@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pure"
+)
+
+// The test binary doubles as the launched worker: when workerEnv is set the
+// process runs one node of a tiny verified-Allreduce job instead of the
+// tests, so the smoke test exercises the real launcher path — reserved
+// ports, per-node environment, prefixed output, exit-code propagation —
+// without building a second binary.
+const workerEnv = "PURERUN_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) != "" {
+		testWorker()
+		return // testWorker exits
+	}
+	os.Exit(m.Run())
+}
+
+func testWorker() {
+	tcfg, err := pure.TransportFromEnv()
+	if err != nil || tcfg == nil {
+		fmt.Fprintln(os.Stderr, "worker: need launcher environment:", err)
+		os.Exit(1)
+	}
+	nodes := len(tcfg.Addrs)
+	nranks := nodes
+	if s := os.Getenv("PURE_NRANKS"); s != "" {
+		if nranks, err = strconv.Atoi(s); err != nil || nranks%nodes != 0 {
+			fmt.Fprintf(os.Stderr, "worker: bad PURE_NRANKS=%q for %d nodes\n", s, nodes)
+			os.Exit(1)
+		}
+	}
+	iters := 1
+	if os.Getenv("PURE_LOOP_FOREVER") != "" {
+		// The kill test needs the survivor mid-collective when its peer
+		// dies, and a detector fast enough to keep the test short.
+		iters = 1 << 30
+		tcfg.HeartbeatEvery = 5 * time.Millisecond
+		tcfg.PeerDeadAfter = 150 * time.Millisecond
+	}
+	cfg := pure.Config{
+		NRanks:      nranks,
+		Spec:        pure.Spec{Nodes: nodes, SocketsPerNode: 1, CoresPerSocket: nranks / nodes, ThreadsPerCore: 1},
+		Transport:   tcfg,
+		HangTimeout: 30 * time.Second,
+	}
+	err = pure.Run(cfg, func(r *pure.Rank) {
+		w := r.World()
+		me, n := r.ID(), r.NRanks()
+		in, out := make([]byte, 8), make([]byte, 8)
+		for i := 0; i < iters; i++ {
+			binary.LittleEndian.PutUint64(in, uint64(me))
+			w.Allreduce(in, out, pure.Sum, pure.Int64)
+			if got, want := binary.LittleEndian.Uint64(out), uint64(n*(n-1)/2); got != want {
+				panic(fmt.Sprintf("allreduce %d, want %d", got, want))
+			}
+		}
+		if me == 0 {
+			fmt.Println("OK")
+		}
+	})
+	if err != nil {
+		var re *pure.RunError
+		if errors.As(err, &re) && re.Cause == pure.CauseNodeDead {
+			fmt.Printf("NODEDEAD dead=%v\n", re.DeadNodes)
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestRunSmoke launches a two-node four-rank job through run() — the same
+// code path as the purerun binary — and checks the prefixed output and the
+// zero exit code.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(workerEnv, "1") // inherited by the spawned workers
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "2", "-ranks", "4", exe}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[node 0] OK") {
+		t.Fatalf("no prefixed OK line from node 0; stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "node 1 exited ok") {
+		t.Fatalf("launcher never reported node 1's exit; stderr:\n%s", stderr.String())
+	}
+}
+
+// TestRunKillPropagatesFailure SIGKILLs node 1 under the launcher and
+// checks that the surviving node's node-dead exit code (3) propagates out
+// of run().
+func TestRunKillPropagatesFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes and waits on failure detection")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(workerEnv, "1")
+	t.Setenv("PURE_LOOP_FOREVER", "1")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "2", "-kill", "1:300ms", "-timeout", "30s", exe}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("run exited %d, want 3 (node-dead)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "NODEDEAD dead=[1]") {
+		t.Fatalf("survivor never reported node 1 dead; stdout:\n%s", stdout.String())
+	}
+}
+
+func TestParseKill(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+		node  int
+		delay time.Duration
+		bad   bool
+	}{
+		{"", 3, -1, 0, false},
+		{"1:200ms", 3, 1, 200 * time.Millisecond, false},
+		{"0:2s", 1, 0, 2 * time.Second, false},
+		{"nocolon", 3, 0, 0, true},
+		{"x:200ms", 3, 0, 0, true},
+		{"1:banana", 3, 0, 0, true},
+		{"3:200ms", 3, 0, 0, true},  // out of range
+		{"-1:200ms", 3, 0, 0, true}, // out of range
+	}
+	for _, c := range cases {
+		node, delay, err := parseKill(c.spec, c.nodes)
+		if c.bad {
+			if err == nil {
+				t.Errorf("parseKill(%q, %d): no error", c.spec, c.nodes)
+			}
+			continue
+		}
+		if err != nil || node != c.node || delay != c.delay {
+			t.Errorf("parseKill(%q, %d) = (%d, %v, %v), want (%d, %v, nil)",
+				c.spec, c.nodes, node, delay, err, c.node, c.delay)
+		}
+	}
+}
+
+func TestReservePorts(t *testing.T) {
+	addrs, err := reservePorts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if !strings.HasPrefix(a, "127.0.0.1:") {
+			t.Fatalf("reserved address %q is not localhost", a)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate reserved address %q in %v", a, addrs)
+		}
+		seen[a] = true
+	}
+}

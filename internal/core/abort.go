@@ -162,6 +162,10 @@ type lazyWait struct {
 	prev      *WaitRecord
 	probes    int
 	published bool
+	// idle marks a wait completed by the transport's reader goroutine
+	// (inter-node frames over a real socket) rather than by a local rank's
+	// store: it selects the netpoller-friendly sleep-backoff SSW loop.
+	idle bool
 }
 
 // wait runs one SSW wait under the pending record.  A multi-phase caller (a
@@ -182,9 +186,9 @@ func (lw *lazyWait) wait(cond func() bool) {
 		}
 	}()
 	if lw.published || !lw.r.liveWaitRecords {
-		lw.r.wait.Wait(cond)
+		lw.r.sswWait(lw.idle, cond)
 	} else {
-		lw.r.wait.Wait(func() bool {
+		lw.r.sswWait(lw.idle, func() bool {
 			if cond() {
 				return true
 			}
@@ -225,15 +229,36 @@ func (lw *lazyWait) finish() {
 // inner wait's completion and the outer wait's is reported without a
 // record.  The watchdog path is unaffected — its records are published, not
 // pending.
-func (r *Rank) leafWait(cond func() bool) {
+func (r *Rank) leafWait(cond func() bool) { r.leafWaitVia(false, cond) }
+
+// leafWaitIdle is leafWait for conditions completed by the transport's
+// reader goroutine (an inter-node frame arriving over a real socket)
+// rather than by a rank spinning on this node: it backs off to short
+// sleeps so the netpoller gets scheduled.  See ssw.Waiter.WaitIdle.
+func (r *Rank) leafWaitIdle(cond func() bool) { r.leafWaitVia(true, cond) }
+
+// sswWait dispatches one condition to the SSW loop, choosing the spin
+// (local completion) or sleep-backoff (socket completion) discipline.  A
+// branch rather than a method value on purpose: binding r.wait.Wait to a
+// variable allocates, and this dispatcher sits on the zero-allocation
+// eager paths.
+func (r *Rank) sswWait(idle bool, cond func() bool) {
+	if idle {
+		r.wait.WaitIdle(cond)
+	} else {
+		r.wait.Wait(cond)
+	}
+}
+
+func (r *Rank) leafWaitVia(idle bool, cond func() bool) {
 	r.pendActive = true
 	r.pendPublished = false
 	if !r.liveWaitRecords {
-		r.wait.Wait(cond)
+		r.sswWait(idle, cond)
 	} else {
 		probes := 0
 		var prev *WaitRecord
-		r.wait.Wait(func() bool {
+		r.sswWait(idle, func() bool {
 			if cond() {
 				return true
 			}
@@ -292,6 +317,7 @@ const (
 	CauseStall    = "stall"    // watchdog found global no-progress without a cycle
 	CauseDeadline = "deadline" // Config.Deadline expired
 	CauseNetDead  = "net-dead" // a remote send exhausted its retry budget
+	CauseNodeDead = "node-dead" // the transport failure detector declared a peer node dead
 )
 
 // errPoisoned is what Waiter.Poison returns once the runtime is aborted; the
@@ -308,6 +334,10 @@ type abortState struct {
 	text  string
 	diag  string // multi-line watchdog diagnostic, "" unless the watchdog fired
 	cycle []int
+	// deadNodes lists peer nodes the transport declared dead or aborted
+	// (CauseNodeDead); it accumulates even after the first poison so a
+	// multi-node failure names every lost peer.
+	deadNodes []int
 }
 
 // poison aborts the runtime: the first caller records the cause, every
@@ -330,6 +360,33 @@ func (rt *Runtime) poison(cause, text, diag string, cycle []int) {
 			rt.met.hangs.Inc()
 		}
 	}
+	// With a real transport attached, tell every peer node this runtime is
+	// going down (an abort-flagged Bye) so survivors propagate the failure
+	// immediately instead of waiting out their heartbeat detectors.  On a
+	// separate goroutine: Abort takes link locks and this path may run from
+	// a transport callback already holding them.
+	if rt.tp != nil && cause != CauseNodeDead {
+		msg := fmt.Sprintf("node %d aborted (%s): %s", rt.tp.Node(), cause, text)
+		go rt.tp.Abort(msg, nil)
+	}
+}
+
+// poisonNodeDead poisons the runtime because a peer node failed (the
+// transport's failure detector gave up on it, or it announced its own
+// abort).  The node joins the RunError's DeadNodes list even when the
+// runtime is already poisoned, so a cascading multi-node failure reports
+// every lost peer.
+func (rt *Runtime) poisonNodeDead(node int, text string) {
+	rt.abort.mu.Lock()
+	for _, n := range rt.abort.deadNodes {
+		if n == node {
+			rt.abort.mu.Unlock()
+			return
+		}
+	}
+	rt.abort.deadNodes = append(rt.abort.deadNodes, node)
+	rt.abort.mu.Unlock()
+	rt.poison(CauseNodeDead, text, "", nil)
 }
 
 // abortErr is the Waiter.Poison hook: nil until the runtime is poisoned.
@@ -399,6 +456,10 @@ type RunError struct {
 	// Cycle is the wait-for cycle the watchdog identified (rank ids, in
 	// order; the last waits on the first), or nil.
 	Cycle []int
+	// DeadNodes lists the peer nodes whose failure caused the abort (set
+	// with CauseNodeDead: the transport's failure detector gave up on them
+	// or they announced their own abort), ordered by node id.
+	DeadNodes []int
 	// Diag is the watchdog's full diagnostic dump ("" unless it fired).
 	Diag string
 }
@@ -411,6 +472,12 @@ const maxBlockedLines = 16
 func (e *RunError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core: run aborted (%s): %s", e.Cause, e.Text)
+	if len(e.DeadNodes) > 0 {
+		b.WriteString("\n  dead nodes:")
+		for _, n := range e.DeadNodes {
+			fmt.Fprintf(&b, " %d", n)
+		}
+	}
 	if len(e.Cycle) > 0 {
 		b.WriteString("\n  wait-for cycle: ")
 		for _, r := range e.Cycle {
@@ -447,6 +514,10 @@ func (rt *Runtime) buildRunError(failures []RankFailure) *RunError {
 		Failures: failures,
 		Cycle:    rt.abort.cycle,
 		Diag:     rt.abort.diag,
+	}
+	if len(rt.abort.deadNodes) > 0 {
+		e.DeadNodes = append(e.DeadNodes, rt.abort.deadNodes...)
+		sort.Ints(e.DeadNodes)
 	}
 	rt.abort.mu.Unlock()
 	if e.Cause == "" { // failures without runtime poisoning cannot happen, but stay safe

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,8 +27,6 @@ type commShared struct {
 	nodeIdxOfRank []int   // comm rank -> index into nodeList
 	localIdxOf    []int   // comm rank -> index within its node group
 	nodes         []*commNode
-
-	splitBuf []splitEntry // scratch for Split; writes are disjoint, fenced by barriers
 }
 
 // commNode holds one node's collective structures for one communicator.
@@ -37,26 +36,48 @@ type commNode struct {
 	n    int
 }
 
-type splitEntry struct {
-	color, key int
-}
-
 type splitKey struct {
 	parent uint64
 	epoch  uint64
 	color  int
 }
 
+// worldCommID is the world communicator's id.  Derived communicators (Split)
+// hash their lineage into ids with the top bit set (splitCommID), so the two
+// spaces can never collide.
+const worldCommID = 1
+
+// splitCommID derives a communicator id from its lineage: the parent comm's
+// id, the handle's Split call count, and the color.  Every member computes
+// the same id from the same collective history — no shared counter — which
+// is what keeps communicator ids consistent across OS processes when the
+// runtime spans nodes over a real transport.
+func splitCommID(parent, epoch uint64, color int) uint64 {
+	h := mix64(parent ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ epoch)
+	h = mix64(h ^ uint64(int64(color)))
+	return h | 1<<63
+}
+
+// mix64 is the splitmix64 finalizer (a fixed full-avalanche permutation).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // newCommShared builds the shared state for a communicator over the given
 // global ranks (which must be in the desired comm-rank order).
-func (rt *Runtime) newCommShared(members []int) *commShared {
+func (rt *Runtime) newCommShared(id uint64, members []int) *commShared {
 	sh := &commShared{
-		id:            rt.commIDs.Add(1),
+		id:            id,
 		members:       members,
 		indexOf:       make(map[int]int, len(members)),
 		nodeIdxOfRank: make([]int, len(members)),
 		localIdxOf:    make([]int, len(members)),
-		splitBuf:      make([]splitEntry, len(members)),
 	}
 	for cr, g := range members {
 		sh.indexOf[g] = cr
@@ -231,7 +252,14 @@ func (c *Comm) collWait(op string, ni, tid int) lazyWait {
 	return lazyWait{r: c.r, rec: WaitRecord{
 		Kind: WaitCollective, Peer: -1, Comm: c.sh.id, Op: op,
 		Seq: c.sh.nodes[ni].sptd.Round(tid) + 1,
-	}}
+	},
+		// On a multi-node comm over the real transport the collective's
+		// critical path runs through the leaders' socket legs, so waiters
+		// back off to sleeps: a spinning non-leader would starve the very
+		// netpoller its leader is blocked on, and the extra wakeup
+		// microseconds vanish under the wire latency.  Single-node comms
+		// keep the pure spin even when a transport is up.
+		idle: c.r.rt.tp != nil && c.multiNode()}
 }
 
 // Barrier blocks until every comm member has entered it.
@@ -488,40 +516,49 @@ func (c *Comm) leaderBcast(myNi, rootNi, rootGlobal int, buf []byte) {
 // color form a new communicator, ranked by (key, current rank).  A negative
 // color returns nil (MPI_UNDEFINED).  Split is collective over the
 // communicator.
+//
+// The (color, key) exchange is an Allgather rather than a shared scratch
+// table, so Split works unchanged when the communicator's members span OS
+// processes over a real transport; the gather/broadcast pair also provides
+// the synchronization the old table needed explicit barriers for.
 func (c *Comm) Split(color, key int) *Comm {
 	c.r.stats.Splits++
 	sh := c.sh
-	sh.splitBuf[c.myRank] = splitEntry{color: color, key: key}
-	c.Barrier() // publish entries
 	c.splitEpoch++
 
-	var newComm *Comm
-	if color >= 0 {
-		type member struct{ key, commRank int }
-		var group []member
-		for cr, e := range sh.splitBuf {
-			if e.color == color {
-				group = append(group, member{e.key, cr})
-			}
-		}
-		sort.Slice(group, func(a, b int) bool {
-			if group[a].key != group[b].key {
-				return group[a].key < group[b].key
-			}
-			return group[a].commRank < group[b].commRank
-		})
-		members := make([]int, len(group))
-		for i, g := range group {
-			members[i] = sh.members[g.commRank]
-		}
-		k := splitKey{parent: sh.id, epoch: c.splitEpoch, color: color}
-		fresh := c.r.rt.newCommShared(members)
-		v, _ := c.r.rt.comms.LoadOrStore(k, fresh)
-		newSh := v.(*commShared)
-		newComm = &Comm{r: c.r, sh: newSh, myRank: newSh.indexOf[c.r.id]}
+	var mine [16]byte
+	binary.LittleEndian.PutUint64(mine[0:], uint64(int64(color)))
+	binary.LittleEndian.PutUint64(mine[8:], uint64(int64(key)))
+	all := make([]byte, 16*c.Size())
+	c.Allgather(mine[:], all)
+
+	if color < 0 {
+		return nil
 	}
-	c.Barrier() // protect splitBuf reuse by the next Split on this comm
-	return newComm
+	type member struct{ key, commRank int }
+	var group []member
+	for cr := 0; cr < c.Size(); cr++ {
+		ecolor := int(int64(binary.LittleEndian.Uint64(all[cr*16:])))
+		ekey := int(int64(binary.LittleEndian.Uint64(all[cr*16+8:])))
+		if ecolor == color {
+			group = append(group, member{ekey, cr})
+		}
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].commRank < group[b].commRank
+	})
+	members := make([]int, len(group))
+	for i, g := range group {
+		members[i] = sh.members[g.commRank]
+	}
+	k := splitKey{parent: sh.id, epoch: c.splitEpoch, color: color}
+	fresh := c.r.rt.newCommShared(splitCommID(sh.id, c.splitEpoch, color), members)
+	v, _ := c.r.rt.comms.LoadOrStore(k, fresh)
+	newSh := v.(*commShared)
+	return &Comm{r: c.r, sh: newSh, myRank: newSh.indexOf[c.r.id]}
 }
 
 // ---- Extension collectives (beyond the paper's reduce / all-reduce /

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 // metricSet pre-resolves the runtime's metric handles once at launch so the
@@ -158,6 +159,38 @@ func (rt *Runtime) harvestObs(ranks []*Rank) {
 			return true
 		})
 		m.netDupsDropped.Add(dupes)
+	}
+	if rt.tp != nil {
+		var agg transport.LinkStats
+		var dead int64
+		for _, ls := range rt.tp.Stats() {
+			agg.FramesSent += ls.FramesSent
+			agg.FramesRecv += ls.FramesRecv
+			agg.BytesSent += ls.BytesSent
+			agg.BytesRecv += ls.BytesRecv
+			agg.Retransmits += ls.Retransmits
+			agg.DupsDropped += ls.DupsDropped
+			agg.OooDropped += ls.OooDropped
+			agg.Reconnects += ls.Reconnects
+			agg.DropsInjected += ls.DropsInjected
+			agg.DelaysInjected += ls.DelaysInjected
+			agg.SendBusy += ls.SendBusy
+			if ls.Dead {
+				dead++
+			}
+		}
+		m.reg.Counter("pure_tp_frames_sent_total").Add(agg.FramesSent)
+		m.reg.Counter("pure_tp_frames_recv_total").Add(agg.FramesRecv)
+		m.reg.Counter("pure_tp_bytes_sent_total").Add(agg.BytesSent)
+		m.reg.Counter("pure_tp_bytes_recv_total").Add(agg.BytesRecv)
+		m.reg.Counter("pure_tp_retransmits_total").Add(agg.Retransmits)
+		m.reg.Counter("pure_tp_dups_dropped_total").Add(agg.DupsDropped)
+		m.reg.Counter("pure_tp_ooo_dropped_total").Add(agg.OooDropped)
+		m.reg.Counter("pure_tp_reconnects_total").Add(agg.Reconnects)
+		m.reg.Counter("pure_tp_drops_injected_total").Add(agg.DropsInjected)
+		m.reg.Counter("pure_tp_delays_injected_total").Add(agg.DelaysInjected)
+		m.reg.Counter("pure_tp_send_busy_total").Add(agg.SendBusy)
+		m.reg.Counter("pure_tp_dead_peers_total").Add(dead)
 	}
 }
 

@@ -269,6 +269,16 @@ func (r *Rank) isend(commID uint64, buf []byte, dst, tag int) *Request {
 			r.met.countSend(reqRemoteSend, len(buf))
 		}
 		req := &Request{kind: reqRemoteSend, peer: int32(dst), tag: tag, comm: commID, buf: buf}
+		if r.rt.tp != nil {
+			// Real transport: the link copies the payload into its encoded
+			// resend buffer at send time, so the post completes immediately
+			// (MPI buffered semantics); loss, reordering and reconnects are
+			// the link protocol's problem.
+			r.tpSendData(key, buf)
+			req.done = true
+			req.n = len(buf)
+			return req
+		}
 		if !r.rt.net.FaultsActive() {
 			// Fault-free fast path: the modeled wire never loses anything,
 			// so the send completes at post time (MPI buffered semantics).
@@ -374,11 +384,15 @@ func (r *Rank) waitReq(req *Request) int {
 		Kind: waitKindFor(req.kind), Peer: int(req.peer),
 		Tag: req.tag, Comm: req.comm, Seq: req.seq,
 	}
+	// Remote completions on the real transport arrive via the link reader
+	// goroutine, so those waits must let the netpoller run; on the modeled
+	// network the waiting rank drives delivery itself and keeps spinning.
+	idle := r.rt.tp != nil
 	switch req.kind {
 	case reqRemoteSend:
 		// Reliable path only (fault-free remote sends complete at post time):
 		// poll the receiver NIC's ack watermark, retransmitting on timeout.
-		r.leafWait(func() bool {
+		r.leafWaitVia(idle, func() bool {
 			if req.done {
 				return true
 			}
@@ -386,7 +400,7 @@ func (r *Rank) waitReq(req *Request) int {
 			return req.done
 		})
 	case reqRemoteRecv:
-		r.leafWait(func() bool {
+		r.leafWaitVia(idle, func() bool {
 			if req.done {
 				return true
 			}
@@ -398,7 +412,7 @@ func (r *Rank) waitReq(req *Request) int {
 		// retransmits and apply incoming frames (two origins putting at
 		// each other must each drain their inbox), then poll the target's
 		// applied watermark.
-		r.leafWait(func() bool {
+		r.leafWaitVia(idle, func() bool {
 			if req.flow.applied.Load() >= req.flowSeq {
 				req.done = true
 				return true
@@ -411,7 +425,7 @@ func (r *Rank) waitReq(req *Request) int {
 		})
 	case reqRmaGet:
 		// The reply frame arrives on our own inbox; rmaProgress fills buf.
-		r.leafWait(func() bool {
+		r.leafWaitVia(idle, func() bool {
 			if req.done {
 				return true
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 
@@ -110,6 +111,17 @@ func (c *Comm) WinCreate(buf []byte) *Win {
 			r.rmaIn = append(r.rmaIn, &rmaInbox{flow: r.rmaFlowFor(key), comm: c.sh.id, origin: g})
 		}
 	}
+	if r.rt.tp != nil && c.multiNode() {
+		// Members in other OS processes never Attach into this replica, so
+		// exchange buffer lengths to keep origin-side bounds checks global.
+		var mine [8]byte
+		binary.LittleEndian.PutUint64(mine[:], uint64(len(buf)))
+		all := make([]byte, 8*c.Size())
+		c.Allgather(mine[:], all)
+		for cr := 0; cr < c.Size(); cr++ {
+			w.SetLen(cr, int(binary.LittleEndian.Uint64(all[cr*8:])))
+		}
+	}
 	c.Barrier() // every buffer attached and every inbox subscribed
 	return &Win{c: c, w: w, key: k}
 }
@@ -120,10 +132,12 @@ func (win *Win) Comm() *Comm { return win.c }
 // Size returns the window's member count.
 func (win *Win) Size() int { return win.w.N() }
 
-// Len returns the byte length of target's exposed buffer.
+// Len returns the byte length of target's exposed buffer (valid for every
+// member, including cross-process members whose buffer this replica cannot
+// address).
 func (win *Win) Len(target int) int {
 	win.c.checkPeer(target, "window")
-	return len(win.w.Buffer(target))
+	return win.w.Len(target)
 }
 
 // Buffer returns the calling rank's own exposed buffer.
@@ -184,6 +198,13 @@ func (r *Rank) rmaTransmit(commID uint64, dstGlobal int, f *rma.Frame) (*rmaFlow
 	if r.met != nil {
 		r.met.rmaRemotePackets.Inc()
 	}
+	if r.rt.tp != nil {
+		// Real transport: the encoded frame rides the link's sequenced
+		// stream into the target process's mailbox; the applied watermark
+		// comes back as KindApplied frames (see tpApplied).
+		r.tpSendData(key, buf)
+		return flow, flow.sent
+	}
 	if !r.rt.net.FaultsActive() {
 		r.remoteSendOwned(key, buf)
 		return flow, flow.sent
@@ -243,6 +264,7 @@ func (r *Rank) rmaProgress() {
 	}
 	for _, in := range r.rmaIn {
 		schedpoint("core:rma:drain-inbox")
+		drained := 0
 		for in.flow.rc.n.Load() > 0 {
 			msg, ok := in.flow.rc.tryPop()
 			if !ok {
@@ -251,7 +273,13 @@ func (r *Rank) rmaProgress() {
 			r.rmaApply(in, msg)
 			schedpoint("core:rma:applied")
 			in.flow.applied.Add(1)
+			drained++
 			r.slot.progress.Add(1) // frame application is forward progress
+		}
+		if drained > 0 && r.rt.tp != nil {
+			// Across processes the origin cannot read our replica's applied
+			// watermark; ship the new total back on the reverse link.
+			r.tpSendApplied(in)
 		}
 	}
 }
@@ -298,6 +326,14 @@ func (r *Rank) rmaApply(in *rmaInbox, buf []byte) {
 		r.rmaTransmit(in.comm, in.origin, rep)
 	case rma.FrameNotify:
 		w.Notify(int(f.Target), int(f.Aux))
+	case rma.FramePost:
+		// Cross-process PSCW: the sender (f.Origin) posted exposure round
+		// f.Aux; mirror it into this replica's flags for local Start polls.
+		w.Post(int(f.Origin), f.Aux)
+	case rma.FrameComplete:
+		// Cross-process PSCW: f.Origin completed access round f.Aux at
+		// f.Target (a rank in this process, polling in Wait).
+		w.Complete(int(f.Origin), int(f.Target), f.Aux)
 	default:
 		panic(fmt.Sprintf("core: rank %d: unexpected RMA frame kind %v", r.id, f.Kind))
 	}
@@ -432,6 +468,21 @@ func (win *Win) Fence() {
 	t0 := r.traceStart()
 	win.completePending()
 	win.fenceRound++
+	if r.rt.tp != nil && win.c.multiNode() {
+		// Cross-process members never store into this replica's fence flags.
+		// A barrier (whose leader legs ride the transport) gives the same
+		// guarantee: everyone's outstanding operations were applied (their
+		// completePending ran first) before anyone proceeds.
+		win.c.Barrier()
+		r.stats.RmaFences++
+		if r.trace != nil {
+			r.trace.EmitSpan(obs.KRmaFence, -1, int64(win.fenceRound), t0)
+		}
+		if r.met != nil {
+			r.met.rmaFences.Inc()
+		}
+		return
+	}
 	win.w.FenceArrive(win.c.myRank, win.fenceRound)
 	if !win.w.FenceReached(win.fenceRound) {
 		lw := lazyWait{r: r, rec: WaitRecord{
@@ -469,6 +520,18 @@ func (win *Win) Post(origins []int) {
 	win.postOrigins = append([]int(nil), origins...)
 	win.postRound++
 	win.w.Post(win.c.myRank, win.postRound)
+	if r := win.c.r; r.rt.tp != nil {
+		// Mirror the exposure flag into cross-process origins' replicas;
+		// their Start polls locally and rmaProgress applies the frame.
+		for _, o := range win.postOrigins {
+			if g, same := win.local(o); !same {
+				f := &rma.Frame{Kind: rma.FramePost, WinSeq: win.key.Seq,
+					Origin: uint32(win.c.myRank), Target: uint32(o), Aux: win.postRound}
+				flow, seq := r.rmaTransmit(win.key.Comm, g, f)
+				win.addPend(r.rmaRemoteReq(flow, seq, g, win.key.Comm))
+			}
+		}
+	}
 }
 
 // Start opens an access epoch toward targets (comm ranks), blocking until
@@ -492,8 +555,14 @@ func (win *Win) Start(targets []int) {
 		}
 		g := win.c.sh.members[t]
 		r.pendRec = WaitRecord{Kind: WaitRmaPSCW, Peer: g, Tag: rmaTag, Comm: win.key.Comm, Seq: win.startRound, Op: "start"}
+		idle := false
+		if r.rt.tp != nil {
+			if _, same := win.local(t); !same {
+				idle = true // the Post flag arrives as a frame
+			}
+		}
 		t := t
-		r.leafWait(func() bool {
+		r.leafWaitVia(idle, func() bool {
 			if win.w.Posted(t, win.startRound) {
 				return true
 			}
@@ -512,8 +581,22 @@ func (win *Win) Complete() {
 	}
 	win.completePending()
 	win.completeRound++
+	r := win.c.r
 	for _, t := range win.startTargets {
 		win.w.Complete(win.c.myRank, t, win.completeRound)
+		if r.rt.tp != nil {
+			if g, same := win.local(t); !same {
+				// Mirror the completion flag into the cross-process target's
+				// replica.  The frame follows this epoch's operation frames
+				// on the same flow, and completePending already confirmed
+				// they were applied, so the target's Wait release orders
+				// correctly after the data.
+				f := &rma.Frame{Kind: rma.FrameComplete, WinSeq: win.key.Seq,
+					Origin: uint32(win.c.myRank), Target: uint32(t), Aux: win.completeRound}
+				flow, seq := r.rmaTransmit(win.key.Comm, g, f)
+				win.addPend(r.rmaRemoteReq(flow, seq, g, win.key.Comm))
+			}
+		}
 	}
 	win.startTargets = nil
 }
@@ -533,8 +616,14 @@ func (win *Win) Wait() {
 		}
 		g := win.c.sh.members[o]
 		r.pendRec = WaitRecord{Kind: WaitRmaPSCW, Peer: g, Tag: rmaTag, Comm: win.key.Comm, Seq: win.waitRound, Op: "wait"}
+		idle := false
+		if r.rt.tp != nil {
+			if _, same := win.local(o); !same {
+				idle = true // the Complete flag arrives as a frame
+			}
+		}
 		o := o
-		r.leafWait(func() bool {
+		r.leafWaitVia(idle, func() bool {
 			if win.w.Completed(o, win.c.myRank, win.waitRound) {
 				return true
 			}
@@ -582,7 +671,7 @@ func (win *Win) NotifyWait(slot, count int) {
 	}
 	lw := lazyWait{r: r, rec: WaitRecord{
 		Kind: WaitRmaNotify, Peer: -1, Tag: rmaTag, Comm: win.key.Comm, Seq: need, Op: "notify-wait",
-	}}
+	}, idle: r.rt.tp != nil && win.c.multiNode()}
 	lw.wait(func() bool {
 		if win.w.NotifyCount(me, slot) >= need {
 			return true

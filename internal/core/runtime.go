@@ -26,6 +26,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/ssw"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 // Default tuning values, matching the paper's configuration where reported.
@@ -74,6 +75,17 @@ type Config struct {
 	// Net.Faults enables seeded drop/duplicate/reorder/jitter injection,
 	// which also switches the inter-node path onto the ack/retransmit layer.
 	Net netsim.Config
+
+	// Transport, when non-nil, replaces the in-process modeled network with
+	// a real inter-node transport (TCP by default): this OS process runs
+	// only the ranks placed on Transport.Node, one cooperating process per
+	// node in Transport.Addrs, and all cross-node traffic — two-sided sends,
+	// leader-tree collective legs, and RMA frames — travels the transport's
+	// sequenced, acked, heartbeat-monitored links.  Spec.Nodes must equal
+	// len(Transport.Addrs).  Mutually exclusive with Net.Faults, whose
+	// injection models the in-process wire; use Transport.Faults for
+	// link-level drop/delay injection instead.
+	Transport *transport.Config
 
 	// HangTimeout arms the watchdog: when every live rank is blocked and no
 	// rank makes progress for this long, the runtime diagnoses the hang
@@ -174,6 +186,20 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.Spec == (topology.Spec{}) {
 		cfg.Spec = topology.Spec{Nodes: 1, SocketsPerNode: 1, CoresPerSocket: cfg.NRanks, ThreadsPerCore: 1}
 	}
+	if cfg.Transport != nil {
+		t := cfg.Transport.WithDefaults()
+		if err := t.Validate(cfg.HangTimeout); err != nil {
+			return cfg, fmt.Errorf("core: Transport: %w", err)
+		}
+		if len(t.Addrs) != cfg.Spec.Nodes {
+			return cfg, fmt.Errorf("core: Transport lists %d node addresses but Spec.Nodes is %d — one cooperating process per node",
+				len(t.Addrs), cfg.Spec.Nodes)
+		}
+		if cfg.Net.Faults.Active() {
+			return cfg, fmt.Errorf("core: Net.Faults injects on the in-process modeled wire, which a real Transport replaces; use Transport.Faults for link-level injection")
+		}
+		cfg.Transport = &t
+	}
 	if cfg.SmallMsgMax == 0 {
 		cfg.SmallMsgMax = DefaultSmallMsgMax
 	}
@@ -210,7 +236,13 @@ type Runtime struct {
 	channels sync.Map // chanKey -> *channel   (intra-node)
 	remotes  sync.Map // chanKey -> *remoteChannel (inter-node)
 	comms    sync.Map // splitKey -> *commShared
-	commIDs  atomic.Uint64
+
+	// tp is the real inter-node transport when Config.Transport is set (nil
+	// for in-process runs); tpFinished marks that every local rank has
+	// returned, turning late peer-failure upcalls into no-ops (peer shutdown
+	// is not synchronized across nodes).
+	tp         *transport.Transport
+	tpFinished atomic.Bool
 
 	// One-sided communication: the window registry (keyed like the channel
 	// manager) and the remote RMA flows with their applied watermarks.
@@ -362,7 +394,31 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 			nRanks: nRanks,
 		}
 	}
-	rt.world = rt.newCommShared(allRanks(rcfg.NRanks))
+	rt.world = rt.newCommShared(worldCommID, allRanks(rcfg.NRanks))
+
+	// With a real transport, this process runs only its own node's ranks.
+	localRank := func(int) bool { return true }
+	if rcfg.Transport != nil {
+		tp, err := transport.New(*rcfg.Transport, nil, rcfg.NRanks, transport.Handlers{
+			Deliver:  rt.tpDeliver,
+			Applied:  rt.tpApplied,
+			PeerDead: rt.tpPeerDead,
+			PeerBye:  rt.tpPeerBye,
+		})
+		if err != nil {
+			return fmt.Errorf("core: building transport: %w", err)
+		}
+		if err := tp.Start(); err != nil {
+			return err
+		}
+		rt.tp = tp
+		defer func() {
+			rt.tpFinished.Store(true)
+			tp.Close()
+		}()
+		myNode := tp.Node()
+		localRank = func(id int) bool { return place.NodeOf(id) == myNode }
+	}
 
 	// Adaptive SSW spin budget: the paper pins one rank per hardware thread
 	// and spins freely.  When this host cannot do that (goroutine ranks
@@ -385,8 +441,8 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 	// Start helper threads (paper: "extra threads that continuously try to
 	// steal work", used when ranks don't cover all hardware threads).
 	if rcfg.HelpersPerNode > 0 {
-		for _, ns := range rt.nodes {
-			if ns == nil {
+		for n, ns := range rt.nodes {
+			if ns == nil || (rt.tp != nil && n != rt.tp.Node()) {
 				continue
 			}
 			ns.helperStop = make(chan struct{})
@@ -405,6 +461,12 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 	failures := make(chan RankFailure, rcfg.NRanks)
 	ranks := make([]*Rank, rcfg.NRanks)
 	for id := 0; id < rcfg.NRanks; id++ {
+		if !localRank(id) {
+			// Another OS process runs this rank; mark its slot done so the
+			// watchdog and the failure harvest skip it here.
+			rt.waitSlots[id].done.Store(true)
+			continue
+		}
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -452,6 +514,21 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 	}
 
 	wg.Wait()
+	if rt.tp != nil {
+		// Local ranks are done: late peer-failure upcalls must no longer
+		// poison the run (peer shutdown is unsynchronized).  If the run
+		// aborted, re-announce it synchronously — the poison-time Bye rides a
+		// separate goroutine that may not have run before Close tears the
+		// links down.
+		rt.tpFinished.Store(true)
+		if rt.abort.flag.Load() {
+			rt.abort.mu.Lock()
+			text := fmt.Sprintf("node %d aborted (%s): %s", rt.tp.Node(), rt.abort.cause, rt.abort.text)
+			dead := append([]int(nil), rt.abort.deadNodes...)
+			rt.abort.mu.Unlock()
+			rt.tp.Abort(text, dead)
+		}
+	}
 	close(stopWatch)
 	watchWG.Wait()
 	rt.harvestObs(ranks)

@@ -161,6 +161,9 @@ func (n *Network) RetryBackoff(attempt int) time.Duration {
 		base = DefaultRetryBackoffNs
 	}
 	shift := attempt - 1
+	if shift < 0 {
+		shift = 0 // attempt 0 (or junk) floors at the base backoff; a negative shift would panic
+	}
 	if shift > 6 {
 		shift = 6
 	}

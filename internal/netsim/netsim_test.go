@@ -187,6 +187,38 @@ func TestRetryBackoffDoublesAndCaps(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffFloorsAtBase pins the low edge of the exponent: attempt 0
+// (before any retransmit) and junk negative attempts return the base
+// backoff instead of panicking on a negative shift.
+func TestRetryBackoffFloorsAtBase(t *testing.T) {
+	n := New(Config{Faults: Faults{DropProb: 0.1, RetryBackoffNs: 1000}})
+	for _, attempt := range []int{0, -1, -50} {
+		if got := n.RetryBackoff(attempt); got != 1000*time.Nanosecond {
+			t.Fatalf("attempt %d backoff = %v, want the 1us base", attempt, got)
+		}
+	}
+}
+
+// TestRetryBudgetConfigured pins that a configured budget overrides the
+// default exactly (the exhaustion test in internal/core counts attempts
+// against this number, so an off-by-one here doubles as a protocol bug).
+func TestRetryBudgetConfigured(t *testing.T) {
+	for _, budget := range []int{1, 4, DefaultRetryBudget + 1} {
+		n := New(Config{Faults: Faults{DropProb: 1.0, RetryBudget: budget}})
+		if got := n.RetryBudget(); got != budget {
+			t.Fatalf("RetryBudget() = %d, want configured %d", got, budget)
+		}
+	}
+	// Zero and negative fall back to the default rather than disabling
+	// retransmits entirely (a budget of 0 would hang every lossy run).
+	for _, budget := range []int{0, -3} {
+		n := New(Config{Faults: Faults{DropProb: 1.0, RetryBudget: budget}})
+		if got := n.RetryBudget(); got != DefaultRetryBudget {
+			t.Fatalf("RetryBudget() with %d configured = %d, want default %d", budget, got, DefaultRetryBudget)
+		}
+	}
+}
+
 func TestInjectInactiveIsFreeOfFaults(t *testing.T) {
 	n := New(Config{})
 	for i := 0; i < 100; i++ {

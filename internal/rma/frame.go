@@ -30,9 +30,17 @@ const (
 	FrameGetRep
 	// FrameNotify increments the target's notification counter Aux.
 	FrameNotify
+	// FramePost publishes the sender's PSCW exposure epoch (round in Aux)
+	// into the receiving origin's window replica.  Used when window members
+	// span OS processes, where the shared post flags are not shared.
+	FramePost
+	// FrameComplete publishes the sender's PSCW access-epoch completion
+	// toward Target (round in Aux), the cross-process form of the complete
+	// flag matrix.
+	FrameComplete
 )
 
-var frameKindNames = [...]string{"invalid", "put", "acc", "get-req", "get-rep", "notify"}
+var frameKindNames = [...]string{"invalid", "put", "acc", "get-req", "get-rep", "notify", "post", "complete"}
 
 // String returns the kind's stable name.
 func (k FrameKind) String() string {
@@ -91,7 +99,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 		N:       binary.LittleEndian.Uint64(b[33:]),
 		Payload: b[headerLen:],
 	}
-	if f.Kind < FramePut || f.Kind > FrameNotify {
+	if f.Kind < FramePut || f.Kind > FrameComplete {
 		return Frame{}, fmt.Errorf("rma: unknown frame kind %d", b[0])
 	}
 	return f, nil

@@ -20,6 +20,8 @@ func FuzzFrameDecode(f *testing.F) {
 		{Kind: FrameGetReq, WinSeq: 3, Origin: 2, Target: 3, Off: 8, Aux: 7, N: 128},
 		{Kind: FrameGetRep, WinSeq: 3, Origin: 3, Target: 2, Aux: 7, Payload: bytes.Repeat([]byte{0xAB}, 128)},
 		{Kind: FrameNotify, WinSeq: 4, Origin: 0, Target: 1, Aux: 5},
+		{Kind: FramePost, WinSeq: 5, Origin: 1, Target: 0, Aux: 3},
+		{Kind: FrameComplete, WinSeq: 5, Origin: 0, Target: 1, Aux: 3},
 	}
 	for i := range seeds {
 		f.Add(seeds[i].Encode())
@@ -35,7 +37,7 @@ func FuzzFrameDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if fr.Kind < FramePut || fr.Kind > FrameNotify {
+		if fr.Kind < FramePut || fr.Kind > FrameComplete {
 			t.Fatalf("decoder accepted out-of-range kind %d", fr.Kind)
 		}
 		// Round-trip: re-encoding an accepted frame must reproduce the

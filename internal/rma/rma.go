@@ -55,6 +55,12 @@ const NotifySlots = 8
 type Window struct {
 	n    int
 	bufs [][]byte // comm rank -> exposed buffer; fixed after the create barrier
+	// lens holds every member's exposed-buffer length.  Within one process it
+	// mirrors len(bufs[i]); when window members span OS processes, remote
+	// members' buffers are absent from this replica (bufs[i] == nil) and the
+	// core layer fills lens from an exchange instead, so origin-side bounds
+	// checks (Check) still see the true window sizes.
+	lens []atomic.Int64
 
 	fence []padUint64 // per-rank fence epoch flags
 	post  []padUint64 // per-rank PSCW exposure flags (written by targets)
@@ -75,6 +81,7 @@ func NewWindow(n int) *Window {
 	return &Window{
 		n:        n,
 		bufs:     make([][]byte, n),
+		lens:     make([]atomic.Int64, n),
 		fence:    make([]padUint64, n),
 		post:     make([]padUint64, n),
 		complete: make([]padUint64, n*n),
@@ -89,10 +96,22 @@ func (w *Window) N() int { return w.n }
 // Attach exposes buf as rank tid's window memory.  Each rank attaches its
 // own buffer exactly once, before the creating collective's barrier; after
 // that the bufs table is read-only.
-func (w *Window) Attach(tid int, buf []byte) { w.bufs[tid] = buf }
+func (w *Window) Attach(tid int, buf []byte) {
+	w.bufs[tid] = buf
+	w.lens[tid].Store(int64(len(buf)))
+}
+
+// SetLen records rank tid's exposed-buffer length without a buffer — the
+// core layer's cross-process form of Attach, fed from a length exchange so
+// origin-side bounds checks see the sizes of windows it cannot address.
+func (w *Window) SetLen(tid int, n int) { w.lens[tid].Store(int64(n)) }
 
 // Buffer returns rank tid's exposed buffer.
 func (w *Window) Buffer(tid int) []byte { return w.bufs[tid] }
+
+// Len returns rank tid's exposed-buffer length (valid for every member,
+// including cross-process members whose buffer this replica cannot address).
+func (w *Window) Len(tid int) int { return int(w.lens[tid].Load()) }
 
 // Check bounds-checks an n-byte access at off into target's buffer,
 // panicking with a descriptive message on violation.  Origins call it
@@ -105,9 +124,9 @@ func (w *Window) checkRange(target, off, n int, what string) {
 	if target < 0 || target >= w.n {
 		panic(fmt.Sprintf("rma: %s target rank %d out of range [0,%d)", what, target, w.n))
 	}
-	if off < 0 || n < 0 || off+n > len(w.bufs[target]) {
+	if off < 0 || n < 0 || int64(off)+int64(n) > w.lens[target].Load() {
 		panic(fmt.Sprintf("rma: %s of %d bytes at offset %d overflows rank %d's %d-byte window",
-			what, n, off, target, len(w.bufs[target])))
+			what, n, off, target, w.lens[target].Load()))
 	}
 }
 

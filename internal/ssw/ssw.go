@@ -15,11 +15,25 @@
 // large budget recovers the paper's pure-spin behaviour.
 package ssw
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // DefaultSpinBudget is how many condition probes a waiter performs between
 // yields when the caller does not specify one.
 const DefaultSpinBudget = 64
+
+// WaitIdle's backoff: after idleYieldRounds yield boundaries without
+// progress the wait starts sleeping, doubling from idleSleepMin up to
+// idleSleepMax.  The cap bounds the wakeup latency a long wait pays once
+// its condition finally completes; the first few 1–2µs sleeps cost almost
+// nothing on a wait that was about to be satisfied anyway.
+const (
+	idleYieldRounds = 4
+	idleSleepMin    = time.Microsecond
+	idleSleepMax    = 128 * time.Microsecond
+)
 
 // Stealer attempts one unit of stolen work and reports whether it stole
 // anything.  The Pure Task scheduler implements this; waits outside any
@@ -89,6 +103,56 @@ func (w *Waiter) Wait(cond func() bool) {
 			}
 			runtime.Gosched()
 			spins = 0
+		}
+	}
+}
+
+// WaitIdle is Wait for conditions completed by background I/O — an
+// inter-node frame delivered by a transport reader goroutine — rather than
+// by another rank's store.  Pure yield-spinning starves the Go netpoller:
+// goroutines that Gosched in a loop keep the run queues non-empty, so no P
+// ever parks in network poll and socket readiness is only discovered by
+// sysmon's ~10ms fallback — every cross-node message pays ~10ms however
+// fast the wire is.  After a few yield rounds without progress WaitIdle
+// sleeps with exponential backoff instead, parking the goroutine on a
+// timer so a P goes idle and the netpoller delivers the frame promptly.
+//
+// Shared-memory waits must keep using Wait: their completer is another
+// spinning rank that owns (or shares) a hardware thread, the paper's
+// assumption, and a sleep there only adds latency.  Steal, Poison and
+// Progress behave exactly as in Wait, and a successful steal resets the
+// backoff — running a chunk was progress.
+func (w *Waiter) WaitIdle(cond func() bool) {
+	budget := w.SpinBudget
+	if budget <= 0 {
+		budget = DefaultSpinBudget
+	}
+	spins, rounds := 0, 0
+	sleep := idleSleepMin
+	for !cond() {
+		if w.Steal != nil && w.Steal.TrySteal() {
+			spins, rounds, sleep = 0, 0, idleSleepMin
+			continue
+		}
+		spins++
+		if spins >= budget {
+			if w.Poison != nil {
+				if err := w.Poison(); err != nil {
+					panic(AbortPanic{Err: err})
+				}
+			}
+			if w.Progress != nil {
+				w.Progress()
+			}
+			spins = 0
+			if rounds++; rounds <= idleYieldRounds {
+				runtime.Gosched()
+			} else {
+				time.Sleep(sleep)
+				if sleep < idleSleepMax {
+					sleep *= 2
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,573 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// link is the reliable channel between this node and one peer.  Exactly one
+// link exists per node pair; the lower-numbered node dials, the higher one
+// accepts, and the pair never races two connections against each other.
+//
+// Sender side (guarded by mu): frames get consecutive sequence numbers and
+// are buffered in unacked until the peer's cumulative ack covers them.  The
+// ticker retransmits the whole unacked window when the ack stalls past the
+// backoff (go-back-N), and declares the peer dead when RetryBudget rounds
+// bring no progress.  A frame queued while the connection is down is simply
+// buffered; (re)connection replays everything past the peer's delivered
+// watermark.
+//
+// Receiver side (guarded by recvMu): sequenced frames are delivered to the
+// handlers strictly in order — the next expected sequence is delivered,
+// duplicates (at or below the watermark) are dropped, and anything past the
+// expected sequence is dropped too, to be recovered by the sender's
+// retransmission.  Acks piggyback on every outgoing frame; an explicit ack
+// flows when the reader drains its buffer (the stream went idle) or every
+// ackEvery frames, whichever comes first.
+type link struct {
+	t      *Transport
+	peer   int
+	addr   string
+	dialer bool // this side initiates connections (t.cfg.Node < peer)
+
+	mu       sync.Mutex
+	conn     Conn
+	bw       *bufio.Writer
+	gen      uint64 // connection generation; readers of older generations are stale
+	dialing  bool   // a dialLoop goroutine is active
+	nextSeq  uint64
+	unacked  []outFrame // resend buffer, ascending seq
+	ackedOut uint64     // highest seq the peer has acked
+	attempts int        // retransmit rounds since the last ack progress
+	retryAt  time.Time  // when the next retransmit round is due
+	scratch  []byte     // control-frame encode buffer
+	rng      uint64     // send-side fault-injection stream
+	hbNonce  uint64
+	lastHB   time.Time
+
+	recvMu    sync.Mutex
+	delivered uint64 // highest in-order seq handed to the handlers
+	sinceAck  int    // delivered frames since the last explicit/piggybacked ack we sent
+
+	deliveredA  atomic.Uint64 // mirror of delivered for lock-free reads (handshake, acks)
+	lastRecv    atomic.Int64  // unix nanos of the last frame heard from the peer
+	everUp      atomic.Bool
+	departed    atomic.Bool // peer sent Bye: stop talking to it, it is not a failure
+	dead        atomic.Bool
+	partitioned atomic.Bool // chaos switch: suppress all traffic both ways
+	deadReason  string      // written once before dead is set
+
+	stats linkCounters
+}
+
+// outFrame is one sequenced frame awaiting acknowledgement, fully encoded.
+type outFrame struct {
+	seq uint64
+	buf []byte
+}
+
+// linkCounters are the per-link observability counters (all atomics: the
+// ticker, reader, and Stats snapshot each other concurrently).
+type linkCounters struct {
+	framesSent, framesRecv   atomic.Int64
+	bytesSent, bytesRecv     atomic.Int64
+	retransmits              atomic.Int64
+	dupsDropped, oooDropped  atomic.Int64
+	reconnects               atomic.Int64
+	hbSent, hbRecv, acksSent atomic.Int64
+	dropsInjected            atomic.Int64
+	delaysInjected           atomic.Int64
+	sendBusy                 atomic.Int64
+}
+
+// ackEvery bounds how many delivered frames may ride on piggybacked acks
+// alone before the receiver owes the sender an explicit ack, so a one-way
+// stream (a long Bcast fan-out) cannot stall the sender's resend window.
+const ackEvery = 64
+
+// send queues one sequenced frame and transmits it on the live connection.
+// It returns ErrBusy when the resend window is full (the caller yields and
+// retries), a *DeadError when the peer has been declared dead, and nil
+// otherwise — including when the connection is down, in which case the
+// frame is buffered and replayed on reconnect.
+func (l *link) send(f *Frame) error {
+	l.mu.Lock()
+	if l.dead.Load() {
+		reason := l.deadReason
+		l.mu.Unlock()
+		return &DeadError{Node: l.peer, Reason: reason}
+	}
+	if l.departed.Load() {
+		// The peer finished and left; anything still addressed to it is
+		// undeliverable by design.  Dropping (rather than erroring) keeps
+		// shutdown races harmless: the messages could not have mattered.
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.unacked) >= l.t.cfg.MaxUnacked {
+		l.stats.sendBusy.Add(1)
+		l.mu.Unlock()
+		return ErrBusy
+	}
+	l.nextSeq++
+	f.Seq = l.nextSeq
+	f.Ack = l.deliveredA.Load()
+	f.SrcNode = int32(l.t.cfg.Node)
+	buf := AppendFrame(make([]byte, 0, HeaderLen+len(f.Payload)), f)
+	l.unacked = append(l.unacked, outFrame{seq: f.Seq, buf: buf})
+	if len(l.unacked) == 1 {
+		l.attempts = 0
+		l.retryAt = time.Now().Add(l.t.cfg.RetryBackoff)
+	}
+	if l.conn != nil && !l.partitioned.Load() {
+		if l.injectDropLocked() {
+			l.stats.dropsInjected.Add(1)
+		} else {
+			l.writeLocked(buf)
+		}
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// sendControl transmits one unsequenced frame (ack, heartbeat, handshake,
+// bye) on the live connection, best-effort: with the connection down the
+// frame is simply not sent.
+func (l *link) sendControl(kind Kind, payload []byte) {
+	l.mu.Lock()
+	if l.conn != nil && !l.partitioned.Load() {
+		f := Frame{Kind: kind, SrcNode: int32(l.t.cfg.Node), Ack: l.deliveredA.Load(), Payload: payload}
+		l.scratch = AppendFrame(l.scratch[:0], &f)
+		l.writeLocked(l.scratch)
+	}
+	l.mu.Unlock()
+}
+
+// writeLocked writes one encoded frame to the live connection, tearing the
+// connection down (and arming the redial) on error.  Caller holds mu.
+func (l *link) writeLocked(buf []byte) {
+	if d := l.t.cfg.PeerDeadAfter; d > 0 {
+		l.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if _, err := l.bw.Write(buf); err == nil {
+		err = l.bw.Flush()
+		if err == nil {
+			l.stats.framesSent.Add(1)
+			l.stats.bytesSent.Add(int64(len(buf)))
+			return
+		}
+	}
+	l.teardownConnLocked()
+}
+
+// teardownConnLocked drops the current connection (write error, read error,
+// or chaos KillLink) and arms the dialer's reconnect loop.  Caller holds mu.
+func (l *link) teardownConnLocked() {
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+		l.bw = nil
+		l.gen++
+	}
+	if l.dialer && !l.dialing && !l.dead.Load() && !l.departed.Load() && !l.t.closed.Load() {
+		l.dialing = true
+		l.t.wg.Add(1)
+		go l.dialLoop()
+	}
+}
+
+// installConn makes c the link's live connection: the peer's delivered
+// watermark (from its Hello/Welcome) acts as a cumulative ack, and every
+// sequenced frame past it is replayed in order before new traffic flows.
+// It reports whether the connection was accepted (a dead/departed/closed
+// link refuses) and starts the connection's reader.
+func (l *link) installConn(c Conn, peerDelivered uint64) bool {
+	l.mu.Lock()
+	if l.dead.Load() || l.departed.Load() || l.t.closed.Load() {
+		l.mu.Unlock()
+		c.Close()
+		return false
+	}
+	if l.conn != nil {
+		// A replacement arrived while an old connection looked alive (the
+		// peer saw a break we have not noticed yet).  The newest wins.
+		l.conn.Close()
+	}
+	l.conn = c
+	l.bw = bufio.NewWriterSize(c, 64<<10)
+	l.gen++
+	gen := l.gen
+	// Order matters against the (lockless) tick: lastRecv must be current
+	// before everUp flips, or a tick in the window reads everUp with a
+	// zero/stale lastRecv and declares instant heartbeat death.
+	l.lastRecv.Store(time.Now().UnixNano())
+	if l.everUp.Swap(true) {
+		l.stats.reconnects.Add(1)
+	}
+	l.handleAckLocked(peerDelivered)
+	if n := len(l.unacked); n > 0 {
+		for _, of := range l.unacked {
+			l.bw.Write(of.buf)
+		}
+		if err := l.bw.Flush(); err != nil {
+			l.teardownConnLocked()
+			l.mu.Unlock()
+			return false
+		}
+		l.stats.framesSent.Add(int64(n))
+		if gen > 1 {
+			l.stats.retransmits.Add(int64(n))
+		}
+	}
+	l.mu.Unlock()
+
+	l.t.wg.Add(1)
+	go l.readLoop(c, gen)
+	return true
+}
+
+// handleAckLocked processes a cumulative ack: completed frames leave the
+// resend buffer and ack progress resets the retransmit clock.  Caller
+// holds mu.
+func (l *link) handleAckLocked(a uint64) {
+	if a <= l.ackedOut {
+		return
+	}
+	l.ackedOut = a
+	drop := 0
+	for drop < len(l.unacked) && l.unacked[drop].seq <= a {
+		drop++
+	}
+	if drop > 0 {
+		copy(l.unacked, l.unacked[drop:])
+		for i := len(l.unacked) - drop; i < len(l.unacked); i++ {
+			l.unacked[i] = outFrame{}
+		}
+		l.unacked = l.unacked[:len(l.unacked)-drop]
+		if len(l.unacked) == 0 {
+			l.unacked = nil
+		}
+	}
+	l.attempts = 0
+	l.retryAt = time.Now().Add(l.t.cfg.RetryBackoff)
+}
+
+// readLoop consumes frames from one connection until it breaks or is
+// replaced.  Only the loop whose generation is still current tears the
+// connection down; a stale loop exits silently.
+func (l *link) readLoop(c Conn, gen uint64) {
+	defer l.t.wg.Done()
+	br := bufio.NewReaderSize(c, 64<<10)
+	fr := frameReader{r: br}
+	for {
+		f, err := fr.Read()
+		if err != nil {
+			l.mu.Lock()
+			if l.gen == gen {
+				l.teardownConnLocked()
+			}
+			l.mu.Unlock()
+			return
+		}
+		if l.partitioned.Load() {
+			continue // the chaos partition eats everything, liveness included
+		}
+		l.lastRecv.Store(time.Now().UnixNano())
+		l.stats.framesRecv.Add(1)
+		l.stats.bytesRecv.Add(int64(HeaderLen + len(f.Payload)))
+		if f.Ack > 0 {
+			l.mu.Lock()
+			l.handleAckLocked(f.Ack)
+			l.mu.Unlock()
+		}
+		switch f.Kind {
+		case KindData, KindApplied:
+			l.acceptSequenced(&f, br)
+		case KindHeartbeat:
+			l.stats.hbRecv.Add(1)
+		case KindAck:
+			// Fully handled by the piggyback path above.
+		case KindBye:
+			l.handleBye(&f)
+		case KindHello, KindWelcome:
+			// A late handshake duplicate on an established stream; ignore.
+		}
+	}
+}
+
+// acceptSequenced runs the receive side of the reliability protocol for one
+// Data/Applied frame and owes the sender an ack when the stream goes idle.
+func (l *link) acceptSequenced(f *Frame, br *bufio.Reader) {
+	if fl := &l.t.cfg.Faults; fl.DelayProb > 0 && l.t.rand01() < fl.DelayProb {
+		l.stats.delaysInjected.Add(1)
+		time.Sleep(time.Duration(l.t.rand01() * float64(fl.DelayMax)))
+	}
+	owesAck := false
+	l.recvMu.Lock()
+	switch {
+	case f.Seq == l.delivered+1:
+		l.delivered++
+		l.deliveredA.Store(l.delivered)
+		l.sinceAck++
+		if f.Kind == KindApplied {
+			if h := l.t.h.Applied; h != nil {
+				h(f)
+			}
+		} else if h := l.t.h.Deliver; h != nil {
+			h(f)
+		}
+	case f.Seq <= l.delivered:
+		l.stats.dupsDropped.Add(1)
+	default:
+		// A gap: an earlier frame was dropped (injected or lost with a dead
+		// connection).  Go-back-N: drop this one too and let the sender's
+		// retransmission replay the stream from the gap in order.
+		l.stats.oooDropped.Add(1)
+	}
+	if l.sinceAck > 0 && (l.sinceAck >= ackEvery || br.Buffered() == 0) {
+		l.sinceAck = 0
+		owesAck = true
+	}
+	l.recvMu.Unlock()
+	if owesAck {
+		l.stats.acksSent.Add(1)
+		l.sendControl(KindAck, nil)
+	}
+}
+
+// handleBye processes a peer's departure announcement.
+func (l *link) handleBye(f *Frame) {
+	bye, err := DecodeBye(f.Payload)
+	if err != nil {
+		bye = Bye{Reason: fmt.Sprintf("unparseable bye: %v", err)}
+	}
+	l.mu.Lock()
+	already := l.departed.Swap(true)
+	// Nothing queued for a departed peer can be delivered; dropping the
+	// resend buffer stops the retransmit clock from declaring a clean
+	// departure a failure.
+	l.unacked = nil
+	l.mu.Unlock()
+	if !already {
+		if h := l.t.h.PeerBye; h != nil {
+			var dead []int
+			for _, d := range bye.Dead {
+				dead = append(dead, int(d))
+			}
+			h(l.peer, bye.Abort, bye.Reason, dead)
+		}
+	}
+}
+
+// die declares the peer dead exactly once and tells the failure handler.
+func (l *link) die(reason string) {
+	l.mu.Lock()
+	if l.dead.Load() || l.departed.Load() {
+		l.mu.Unlock()
+		return
+	}
+	l.deadReason = reason
+	l.dead.Store(true)
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+		l.bw = nil
+		l.gen++
+	}
+	l.mu.Unlock()
+	if h := l.t.h.PeerDead; h != nil {
+		h(l.peer, reason)
+	}
+}
+
+// tick runs the link's periodic work from the transport's ticker: failure
+// detection, the retransmit clock, and heartbeats.
+func (l *link) tick(now time.Time) {
+	if l.dead.Load() || l.departed.Load() {
+		return
+	}
+	cfg := &l.t.cfg
+	if l.everUp.Load() {
+		if silent := now.UnixNano() - l.lastRecv.Load(); silent > int64(cfg.PeerDeadAfter) {
+			l.die(fmt.Sprintf("no traffic from node %d for %v (last heard %v ago; heartbeat timeout)",
+				l.peer, cfg.PeerDeadAfter, time.Duration(silent).Round(time.Millisecond)))
+			return
+		}
+	}
+
+	l.mu.Lock()
+	if len(l.unacked) > 0 && now.After(l.retryAt) && l.conn != nil && !l.partitioned.Load() {
+		l.attempts++
+		if l.attempts > cfg.RetryBudget {
+			n, at := len(l.unacked), l.attempts-1
+			l.mu.Unlock()
+			l.die(fmt.Sprintf("retry budget exhausted: %d frames to node %d unacked after %d retransmit rounds",
+				n, l.peer, at))
+			return
+		}
+		n := len(l.unacked)
+		for _, of := range l.unacked {
+			l.bw.Write(of.buf)
+		}
+		if err := l.bw.Flush(); err != nil {
+			l.teardownConnLocked()
+		} else {
+			l.stats.framesSent.Add(int64(n))
+			l.stats.retransmits.Add(int64(n))
+		}
+		l.retryAt = now.Add(l.backoff(l.attempts))
+	}
+	sendHB := now.Sub(l.lastHB) >= cfg.HeartbeatEvery
+	if sendHB {
+		l.lastHB = now
+		l.hbNonce++
+	}
+	nonce := l.hbNonce
+	l.mu.Unlock()
+
+	if sendHB {
+		l.stats.hbSent.Add(1)
+		hb := Heartbeat{Nonce: nonce, SentUnixNano: now.UnixNano()}
+		l.sendControl(KindHeartbeat, hb.Encode())
+	}
+}
+
+// backoff returns the exponential retransmit backoff for the given round,
+// capped at RetryBackoffMax (the netsim link layer's discipline, on real
+// clocks).
+func (l *link) backoff(attempts int) time.Duration {
+	d := l.t.cfg.RetryBackoff
+	for i := 1; i < attempts && d < l.t.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > l.t.cfg.RetryBackoffMax {
+		d = l.t.cfg.RetryBackoffMax
+	}
+	return d
+}
+
+// injectDropLocked rolls the fault plan's drop dice for one first
+// transmission.  Caller holds mu (the rng stream is mu-guarded).
+func (l *link) injectDropLocked() bool {
+	p := l.t.cfg.Faults.DropProb
+	if p <= 0 {
+		return false
+	}
+	l.rng += 0x9e3779b97f4a7c15
+	z := l.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < p
+}
+
+// dialLoop establishes (and re-establishes) the connection from the dialing
+// side, with exponential backoff between attempts.  Exactly one dialLoop
+// runs per link at a time (the dialing flag).
+func (l *link) dialLoop() {
+	defer l.t.wg.Done()
+	backoff := l.t.cfg.DialBackoff
+	for {
+		if l.t.closed.Load() || l.dead.Load() || l.departed.Load() {
+			break
+		}
+		c, err := l.t.be.Dial(l.addr, l.t.cfg.DialTimeout)
+		if err == nil {
+			if l.handshakeDial(c) {
+				break
+			}
+		}
+		select {
+		case <-l.t.stop:
+			l.clearDialing()
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > l.t.cfg.DialBackoffMax {
+			backoff = l.t.cfg.DialBackoffMax
+		}
+	}
+	l.clearDialing()
+}
+
+func (l *link) clearDialing() {
+	l.mu.Lock()
+	l.dialing = false
+	// A connection torn down between handshake success and this point would
+	// have skipped arming a redial (dialing was still set); catch up.
+	if l.conn == nil && l.dialer && !l.dead.Load() && !l.departed.Load() && !l.t.closed.Load() {
+		l.dialing = true
+		l.t.wg.Add(1)
+		go l.dialLoop()
+	}
+	l.mu.Unlock()
+}
+
+// handshakeDial runs the dialing side of the handshake on a fresh
+// connection: send Hello, await Welcome, validate identity, install.
+func (l *link) handshakeDial(c Conn) bool {
+	t := l.t
+	hello := Hello{
+		Job: t.cfg.Job, Node: int32(t.cfg.Node), Nodes: int32(len(t.cfg.Addrs)),
+		NRanks: int32(t.nranks), Delivered: l.deliveredA.Load(),
+	}
+	f := Frame{Kind: KindHello, SrcNode: int32(t.cfg.Node), Payload: hello.Encode()}
+	if _, err := c.Write(f.Encode()); err != nil {
+		c.Close()
+		return false
+	}
+	c.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+	fr := frameReader{r: c}
+	rf, err := fr.Read()
+	if err != nil || rf.Kind != KindWelcome {
+		c.Close()
+		return false
+	}
+	w, err := DecodeHello(rf.Payload)
+	if err != nil || w.Job != t.cfg.Job || int(w.Node) != l.peer {
+		// A different job or an unexpected identity on the peer's port: a
+		// stale process or a misrouted address.  Keep retrying; the real
+		// peer may still be starting up.
+		c.Close()
+		return false
+	}
+	if int(w.Nodes) != len(t.cfg.Addrs) || (t.nranks > 0 && w.NRanks > 0 && int(w.NRanks) != t.nranks) {
+		c.Close()
+		l.die(fmt.Sprintf("configuration mismatch with node %d: it runs %d nodes / %d ranks, this node %d / %d",
+			l.peer, w.Nodes, w.NRanks, len(t.cfg.Addrs), t.nranks))
+		return false
+	}
+	c.SetReadDeadline(time.Time{})
+	return l.installConn(c, w.Delivered)
+}
+
+// snapshot captures the link's counters for Stats.
+func (l *link) snapshot() LinkStats {
+	l.mu.Lock()
+	up := l.conn != nil
+	unacked := len(l.unacked)
+	reason := l.deadReason
+	l.mu.Unlock()
+	return LinkStats{
+		Node: l.peer, Up: up, EverUp: l.everUp.Load(),
+		Departed: l.departed.Load(), Dead: l.dead.Load(), DeadReason: reason,
+		Unacked:        unacked,
+		FramesSent:     l.stats.framesSent.Load(),
+		FramesRecv:     l.stats.framesRecv.Load(),
+		BytesSent:      l.stats.bytesSent.Load(),
+		BytesRecv:      l.stats.bytesRecv.Load(),
+		Retransmits:    l.stats.retransmits.Load(),
+		DupsDropped:    l.stats.dupsDropped.Load(),
+		OooDropped:     l.stats.oooDropped.Load(),
+		Reconnects:     l.stats.reconnects.Load(),
+		HeartbeatsSent: l.stats.hbSent.Load(),
+		HeartbeatsRecv: l.stats.hbRecv.Load(),
+		AcksSent:       l.stats.acksSent.Load(),
+		DropsInjected:  l.stats.dropsInjected.Load(),
+		DelaysInjected: l.stats.delaysInjected.Load(),
+		SendBusy:       l.stats.sendBusy.Load(),
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 // Op is a reduction operator.
@@ -115,6 +116,24 @@ type Faults = netsim.Faults
 // AriesNet returns the Cray-Aries-like model used for multi-node runs.
 func AriesNet() NetConfig { return netsim.Aries() }
 
+// TransportConfig configures the real inter-node transport (one OS process
+// per node over TCP); see the transport package and docs/TRANSPORT.md.
+// Set it on Config.Transport, usually via TransportFromEnv under the
+// purerun launcher.
+type TransportConfig = transport.Config
+
+// TransportFaults is the real transport's fault-injection plan (set it on
+// TransportConfig.Faults): seeded drops of first transmissions and
+// receive-side delays, all recovered by the link protocol.
+type TransportFaults = transport.Faults
+
+// TransportFromEnv builds a TransportConfig from the PURE_NODE/PURE_ADDRS/
+// PURE_JOB environment set by the purerun launcher.  It returns (nil, nil)
+// when the process is not running under a launcher, so a worker binary can
+// unconditionally assign the result to Config.Transport and still run
+// standalone.
+func TransportFromEnv() (*TransportConfig, error) { return transport.FromEnv() }
+
 // Config configures Run.  The zero value plus NRanks runs all ranks on one
 // virtual node with default thresholds.
 type Config struct {
@@ -132,6 +151,14 @@ type Config struct {
 	Seats  []Seat
 	// Net is the inter-node cost model (zero = free loopback).
 	Net NetConfig
+	// Transport, when non-nil, replaces the modeled network with a real
+	// inter-node transport: this process runs only the ranks topology
+	// places on Transport.Node, and cross-node traffic travels real
+	// sockets.  Launch one process per node with matching configs —
+	// normally via cmd/purerun, which provides the config through the
+	// environment (TransportFromEnv).  Mutually exclusive with Net.Faults;
+	// Spec.Nodes must equal len(Transport.Addrs).
+	Transport *TransportConfig
 	// SmallMsgMax is the eager/rendezvous threshold in bytes (default 8 KiB).
 	SmallMsgMax int
 	// PBQSlots is the small-message queue depth per channel (default 16).
@@ -202,6 +229,7 @@ func coreConfig(cfg Config) core.Config {
 		Policy:         cfg.Policy,
 		Seats:          cfg.Seats,
 		Net:            cfg.Net,
+		Transport:      cfg.Transport,
 		SmallMsgMax:    cfg.SmallMsgMax,
 		PBQSlots:       cfg.PBQSlots,
 		SPTDMax:        cfg.SPTDMax,
@@ -244,6 +272,7 @@ const (
 	CauseStall    = core.CauseStall
 	CauseDeadline = core.CauseDeadline
 	CauseNetDead  = core.CauseNetDead
+	CauseNodeDead = core.CauseNodeDead
 )
 
 // Rank is one rank's handle on the runtime.  Handles are not shareable

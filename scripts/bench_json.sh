@@ -1,16 +1,18 @@
 #!/bin/sh
 # bench_json.sh — run the PR's headline microbenchmarks and emit their
-# ns/op AND allocs/op as machine-readable JSON (BENCH_pr6.json), so perf and
+# ns/op AND allocs/op as machine-readable JSON (BENCH_pr7.json), so perf and
 # allocation regressions in the hot loops are visible across commits.  This
-# PR adds the persistent-channel endpoint benchmarks (explicit Channel API,
-# the observed variant, and pooled Isend/Irecv) and -benchmem everywhere:
-# the eager endpoint paths must stay at zero allocations per op.
+# PR adds the real-TCP transport benchmarks: a two-node 8-byte ping-pong
+# and a 2-node x 2-rank Allreduce, each crossing real sockets between two
+# full runtimes in one process.  These ride the netpoller, so their
+# numbers are dominated by socket wakeup latency, not the shared-memory
+# paths the other benchmarks pin.
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr6.json}
+out=${1:-BENCH_pr7.json}
 benchtime=${PURE_BENCHTIME:-1s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -38,6 +40,12 @@ go test -run XXX -bench 'BenchmarkChannelIsendIrecv$' -benchmem -benchtime "$ben
 
 echo "== Pure ping-pong, live monitor enabled (internal/core)"
 go test -run XXX -bench 'BenchmarkPurePingPongMonitored$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== TCP ping-pong, 2 nodes over real sockets (internal/core)"
+go test -run XXX -bench 'BenchmarkTCPPingPong8B$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== TCP Allreduce, 2 nodes x 2 ranks over real sockets (internal/core)"
+go test -run XXX -bench 'BenchmarkTCPAllreduce8B$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
 # Parse `BenchmarkName[/sub]-P  N  123.4 ns/op  0 B/op  0 allocs/op` lines
 # into JSON: ns under the bench name, allocs/op under "<name>:allocs".

@@ -18,7 +18,7 @@ go test ./...
 
 echo "== go test -race (concurrent core packages)"
 go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
-    ./internal/sched ./internal/netsim ./internal/ssw ./internal/core
+    ./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/transport
 
 echo "== deterministic schedule checker (short budget; full run: make check)"
 PURE_CHECK_SEEDS=64 go test -tags purecheck -count=1 ./internal/check
@@ -26,6 +26,8 @@ PURE_CHECK_SEEDS=64 go test -tags purecheck -count=1 ./internal/check
 echo "== fuzz smoke (wire-format decoders, short budget; full run: make fuzz)"
 go test -count=1 -fuzz FuzzFrameDecode -fuzztime 5s ./internal/rma
 go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/codec
+go test -count=1 -fuzz FuzzFrameDecode -fuzztime 5s ./internal/transport
+go test -count=1 -fuzz FuzzControlDecode -fuzztime 5s ./internal/transport
 
 echo "== chaos suite (watchdog/abort/fault-injection under -race)"
 go test -race -count=1 \
@@ -50,12 +52,30 @@ if [ -n "$bad" ]; then
     exit 1
 fi
 
+echo "== TCP transport chaos (real sockets; full run: make chaos-net)"
+go test -race -count=1 -run 'TestChaosTCP' ./internal/core
+go test -count=1 ./internal/livechaos
+
+echo "== purerun multi-process smoke (2 nodes x 4 ranks over real TCP)"
+workerbin="$(mktemp /tmp/pure-worker.XXXXXX)"
+trap 'rm -f "$workerbin"' EXIT
+go build -o "$workerbin" ./examples/purerun
+runout="$(go run ./cmd/purerun -n 2 -ranks 4 -timeout 60s "$workerbin")"
+echo "$runout" | tail -2
+case "$runout" in
+*"[node 0] OK ranks=4 nodes=2"*) ;;
+*)
+    echo "verify: FAIL — purerun smoke never printed node 0's OK line" >&2
+    echo "$runout" >&2
+    exit 1 ;;
+esac
+
 echo "== purebench RMA smoke (one-sided vs two-sided halo, quick scale)"
 go run ./cmd/purebench -quick -exp rma
 
 echo "== trace analytics smoke (traced stencil -> binary dump -> puretrace analyze)"
 tracebin="$(mktemp /tmp/pure-trace.XXXXXX.bin)"
-trap 'rm -f "$tracebin"' EXIT
+trap 'rm -f "$workerbin" "$tracebin"' EXIT
 go run ./cmd/purebench -trace-bin "$tracebin"
 out="$(go run ./cmd/puretrace analyze "$tracebin")"
 echo "$out" | head -3
