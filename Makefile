@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test race chaos chaos-net check fuzz verify bench bench-json analyze
+.PHONY: build test race chaos chaos-net check fuzz verify bench bench-json analyze statsd
 
 build:
 	go build ./...
@@ -10,7 +10,7 @@ test:
 
 race:
 	go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
-		./internal/sched ./internal/netsim ./internal/ssw ./internal/core
+		./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/statsd
 
 # The deterministic schedule explorer: model tests for the lock-free
 # protocols (PBQ/ring FIFO refinement, SPTD no-lost-contribution, RMA
@@ -25,6 +25,7 @@ check:
 fuzz:
 	go test -count=1 -fuzz FuzzFrameDecode -fuzztime 30s ./internal/rma
 	go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/codec
+	go test -count=1 -fuzz FuzzStatsdParse -fuzztime 30s ./internal/statsd
 
 # The robustness suite under the race detector: watchdog/abort containment
 # plus the fault-injection (drop/dup/reorder) chaos tests across several
@@ -62,3 +63,12 @@ bench-json:
 analyze:
 	go run ./cmd/purebench -trace-bin /tmp/pure-trace.bin
 	go run ./cmd/puretrace analyze /tmp/pure-trace.bin
+
+# The statsd aggregation pipeline (docs/STATSD.md): protocol + app tests
+# (the shared interner under -race), a verified single-process run, and the
+# steal-on vs steal-off comparison table.
+statsd:
+	go test -count=1 ./internal/statsd ./internal/apps/statsd
+	go test -race -count=1 ./internal/statsd
+	go run ./cmd/purestatsd -events 200000 -zipf 1.2 -steal -workscale 64
+	go run ./cmd/purebench -quick -exp statsd

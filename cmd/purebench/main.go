@@ -12,14 +12,18 @@
 //	purebench -monitor :8080    # serve the live monitor during the run
 //
 // Experiment ids: sec2 fig4 fig5a fig5b fig5c fig5d fig6 fig6real fig7a
-// fig7b fig7breal fig7c appA appC ablation-pbq rma.
+// fig7b fig7breal fig7c appA appC ablation-pbq rma statsd.
 //
-// -trace, -metrics and -trace-bin run the §2 stencil workload under the
+// -trace, -metrics and -trace-bin run an observed workload under the
 // runtime observability layer instead of the experiment tables: the Chrome
 // trace loads in chrome://tracing or https://ui.perfetto.dev, the metrics
 // file is Prometheus text format, and the binary dump feeds `puretrace
 // analyze`.  -monitor additionally serves /metrics, /ranks and /debug/pprof
-// live while the stencil runs.
+// live while the workload runs.  The workload is the §2 stencil by default;
+// `-exp statsd` selects the statsd aggregation pipeline instead (see
+// docs/STATSD.md):
+//
+//	purebench -exp statsd -trace t.json -monitor :8080
 package main
 
 import (
@@ -31,8 +35,10 @@ import (
 	"strings"
 
 	"repro/comm"
+	appstatsd "repro/internal/apps/statsd"
 	"repro/internal/apps/stencil"
 	"repro/internal/bench"
+	statsdproto "repro/internal/statsd"
 	"repro/pure"
 )
 
@@ -47,7 +53,7 @@ func main() {
 	flag.Parse()
 
 	if *traceOut != "" || *metricsOut != "" || *traceBinOut != "" {
-		observedRun(*traceOut, *metricsOut, *traceBinOut, *monitorAddr)
+		observedRun(*exps == "statsd", *traceOut, *metricsOut, *traceBinOut, *monitorAddr)
 		return
 	}
 
@@ -87,10 +93,14 @@ func main() {
 	}
 }
 
-// observedRun executes the §2 stencil under Config.Trace/Config.Metrics and
-// writes the requested export files.
-func observedRun(traceOut, metricsOut, traceBinOut, monitorAddr string) {
-	const nranks = 8
+// observedRun executes an observed workload — the §2 stencil, or with
+// statsd=true the aggregation pipeline — under Config.Trace/Config.Metrics
+// and writes the requested export files.
+func observedRun(statsd bool, traceOut, metricsOut, traceBinOut, monitorAddr string) {
+	nranks := 8
+	if statsd {
+		nranks = 4
+	}
 	cfg := pure.Config{NRanks: nranks, MonitorAddr: monitorAddr}
 	if traceOut != "" || traceBinOut != "" {
 		cfg.Trace = pure.NewTrace(nranks, 0)
@@ -98,11 +108,33 @@ func observedRun(traceOut, metricsOut, traceBinOut, monitorAddr string) {
 	if metricsOut != "" || monitorAddr != "" {
 		cfg.Metrics = pure.NewMetrics()
 	}
-	rep, err := comm.RunPureWithReport(cfg, func(b comm.Backend) {
-		if _, err := stencil.Run(b, stencil.Params{ArrSize: 512, Iters: 20, WorkScale: 24, UseTask: true}); err != nil {
-			log.Fatal(err)
+	var rep pure.Report
+	var err error
+	if statsd {
+		scfg := appstatsd.Config{
+			Ingesters: 2, Aggregators: 2,
+			Events: 200_000, Rounds: 4, Steal: true,
+			Gen:      statsdproto.GenConfig{ZipfS: 1.2},
+			Interner: statsdproto.NewInterner(4096),
 		}
-	})
+		rep, err = pure.RunWithReport(cfg, func(r *pure.Rank) {
+			res, rerr := appstatsd.Run(r, scfg)
+			if rerr != nil {
+				r.Abort(rerr)
+				return
+			}
+			if r.ID() == 0 {
+				fmt.Printf("purebench: statsd pipeline applied %d events (sum %#x, exact=%v, %d chunks stolen)\n",
+					res.Applied, res.Sum, res.Exact, res.Stolen)
+			}
+		})
+	} else {
+		rep, err = comm.RunPureWithReport(cfg, func(b comm.Backend) {
+			if _, serr := stencil.Run(b, stencil.Params{ArrSize: 512, Iters: 20, WorkScale: 24, UseTask: true}); serr != nil {
+				log.Fatal(serr)
+			}
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

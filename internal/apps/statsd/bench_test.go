@@ -1,0 +1,95 @@
+package statsd
+
+import (
+	"runtime"
+	"testing"
+
+	proto "repro/internal/statsd"
+	"repro/pure"
+)
+
+// BenchmarkStatsdPipeline runs the full pipeline — generate, parse, intern,
+// shard, batch, ship, stage, drain, rollup — with one benchmark op per
+// *event*, so ns/op is the end-to-end per-event cost and 1e9/ns-op is the
+// single-node events/sec figure the acceptance gate reads.
+//
+//	uniform       flat keyspace, inline drains: the raw throughput number
+//	zipf-nosteal  hot keyspace, heavier drains, stealing off (skew baseline)
+//	zipf-steal    same load with the drain as a stealable Pure Task
+func BenchmarkStatsdPipeline(b *testing.B) {
+	b.Run("uniform", func(b *testing.B) {
+		benchPipeline(b, Config{}, 0)
+	})
+	b.Run("zipf-nosteal", func(b *testing.B) {
+		benchPipeline(b, zipfConfig(b.N), zipfProcs())
+	})
+	b.Run("zipf-steal", func(b *testing.B) {
+		cfg := zipfConfig(b.N)
+		cfg.Steal = true
+		benchPipeline(b, cfg, zipfProcs())
+	})
+	b.Run("drop-policy", func(b *testing.B) {
+		benchPipeline(b, Config{Drop: true}, 0)
+	})
+}
+
+// zipfConfig is the skew-absorption scenario: a sharply zipf-hot keyspace
+// whose heavy drain work (staged to each round's rollup) lands mostly on
+// one aggregator's sub-shards.  Without stealing that aggregator drains
+// alone while the other three ranks spin in the rollup collective; with
+// Steal the same ranks steal its drain chunks instead of burning their
+// spin budgets.
+func zipfConfig(n int) Config {
+	return Config{
+		Gen:         proto.GenConfig{ZipfS: 2.0},
+		WorkScale:   2048,
+		Subshards:   32,
+		DrainEvents: 1 << 30, // stage the whole round; drain at the rollup
+		Rounds:      n/131072 + 1,
+	}
+}
+
+// zipfProcs picks GOMAXPROCS for the steal comparison: at least 2, so the
+// parked ranks can run as thieves even when the container's CPU affinity
+// collapses to one core (both zipf variants run under the same value, so
+// the comparison stays apples-to-apples either way).
+func zipfProcs() int {
+	if n := runtime.NumCPU(); n > 2 {
+		return n
+	}
+	return 2
+}
+
+func benchPipeline(b *testing.B, cfg Config, procs int) {
+	if procs == 0 {
+		procs = runtime.NumCPU()
+	}
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+
+	cfg.Ingesters = 2
+	cfg.Aggregators = 2
+	cfg.Events = int64(b.N)
+	cfg.Interner = proto.NewInterner(4096)
+
+	var res Result
+	b.ResetTimer()
+	err := pure.Run(pure.Config{NRanks: cfg.Ingesters + cfg.Aggregators}, func(r *pure.Rank) {
+		got, err := Run(r, cfg)
+		if err != nil {
+			r.Abort(err)
+		}
+		if r.ID() == 0 {
+			res = got
+		}
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Exact {
+		b.Fatalf("pipeline lost events: applied %d, committed %d", res.Applied, res.Committed)
+	}
+	b.ReportMetric(float64(res.Applied)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(res.Stolen), "stolen-chunks")
+}

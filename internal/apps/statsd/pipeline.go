@@ -1,0 +1,533 @@
+// Package statsd is the Pure application layer of the DogStatsD-style
+// metrics-aggregation pipeline (ROADMAP item 3).  Ranks split into two
+// roles:
+//
+//   - Ingesters (ranks [0, Ingesters)) synthesize DogStatsD wire lines,
+//     parse them allocation-free, resolve tagsets through a per-rank hot
+//     set backed by the node-shared interner, shard each event by its
+//     64-bit key hash, and coalesce records into batched frames on
+//     persistent channels — one PBQ enqueue per batch, with a hash→string
+//     dictionary side channel so strings cross the wire once per link.
+//
+//   - Aggregators (the remaining ranks) fan in over every ingester with
+//     nonblocking batch receives, parking in Rank.WaitFor when nothing is
+//     ready (a parked aggregator steals other ranks' drain chunks), stage
+//     decoded records by sub-shard, and drain them through a Pure Task so
+//     a zipf-hot shard's work is stolen by idle neighbours.
+//
+// Backpressure is explicit: a full PBQ surfaces as TrySendBatch refusing,
+// and the ingester either blocks (lossless) or drops the batch and rolls
+// its totals back (lossy but *accounted* — Result.Dropped).  Exactness is
+// proven, not assumed: ingesters fold every committed event into 256
+// checksum bins (negated), aggregators fold every applied event in
+// (positive), and a round-ending Allreduce of the 520-slot int64 vector —
+// large enough to take the SPTD partitioned-reducer path — must come back
+// all-zero in the verify half.  Markers ride the data channels FIFO behind
+// the batches they summarize, so "all markers for round r received" implies
+// "all round-r committed events applied".
+package statsd
+
+import (
+	"fmt"
+
+	proto "repro/internal/statsd"
+	"repro/pure"
+)
+
+// Config parameterizes one pipeline run.  Every rank must pass identical
+// values (except Interner, which is per-process state).
+type Config struct {
+	// Ingesters and Aggregators partition the communicator: ranks
+	// [0, Ingesters) ingest, the rest aggregate.  Their sum must equal the
+	// rank count.
+	Ingesters   int
+	Aggregators int
+
+	// Events is the total event count, split evenly across ingesters.
+	Events int64
+	// Rounds is how many marker/flush rounds the run is divided into
+	// (default 1).  Each round ends with a global snapshot rollup.
+	Rounds int
+
+	// BatchEvents flushes a destination's batch at this many records
+	// (default 64); FrameBytes flushes earlier if the pending frame payload
+	// (records + dictionary) reaches this size (default 3072 — frames must
+	// stay safely under the eager threshold).
+	BatchEvents int
+	FrameBytes  int
+
+	// Drop selects the backpressure policy at a full queue: true drops the
+	// batch (counted in Result.Dropped, rolled back from the committed
+	// totals), false blocks the ingester until the aggregator drains.
+	Drop bool
+
+	// Steal drains staged records through a Pure Task whose sub-shard
+	// chunks idle ranks steal; false drains inline (the skew-absorption
+	// baseline).
+	Steal bool
+	// Subshards is the per-aggregator sub-shard count == drain-task chunks
+	// (default 8).
+	Subshards int
+	// DrainEvents triggers a drain when this many records are staged
+	// (default 4096).
+	DrainEvents int
+	// WorkScale adds synthetic per-record compute to the drain (sketch
+	// maintenance stand-in), making shard skew visible to the scheduler.
+	// 0 means the bare aggregation cost.
+	WorkScale int
+
+	// Gen shapes the synthetic traffic (ZipfS is the skew knob).  Each
+	// ingester perturbs the seed with its rank.
+	Gen proto.GenConfig
+
+	// Interner, when non-nil, is the node-shared tagset table (share one
+	// across all ingesters in this process); nil gives each ingester a
+	// private 4096-slot table.
+	Interner *proto.Interner
+}
+
+func (c *Config) defaults() error {
+	if c.Ingesters <= 0 || c.Aggregators <= 0 {
+		return fmt.Errorf("statsd: need at least one ingester and one aggregator, have %d/%d",
+			c.Ingesters, c.Aggregators)
+	}
+	if c.Events <= 0 {
+		return fmt.Errorf("statsd: no events to run (%d)", c.Events)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.BatchEvents <= 0 {
+		c.BatchEvents = 64
+	}
+	if c.FrameBytes <= 0 {
+		c.FrameBytes = 3072
+	}
+	if c.Subshards <= 0 {
+		c.Subshards = 8
+	}
+	if c.DrainEvents <= 0 {
+		c.DrainEvents = 4096
+	}
+	return nil
+}
+
+// Result is the global flush snapshot plus the run's accounting, identical
+// on every rank (it is the final Allreduce).
+type Result struct {
+	// Applied is the event count folded into aggregator state; Committed
+	// is the count the ingesters successfully enqueued.  Equal iff Exact.
+	Applied   uint64
+	Committed uint64
+	// Dropped counts events discarded by the drop policy (0 when blocking).
+	Dropped uint64
+	// Keys is the distinct live series count across all aggregators.
+	Keys int64
+	// Owner and Stolen are the drain task's chunk split (Stolen > 0 means
+	// work stealing actually absorbed skew).
+	Owner, Stolen int64
+	// Sum and Bins are the global applied checksum and its per-bin split —
+	// the flush snapshot's integrity digest.
+	Sum  uint64
+	Bins [proto.NBins]uint64
+	// Exact reports that the zero-sum proof held: every committed event
+	// was applied exactly once, bin by bin.
+	Exact bool
+}
+
+// Verification vector layout (int64 slots; wraparound arithmetic).  The
+// verify half must reduce to zero; the rest are absolute tallies.
+const (
+	vEvents = iota // applied − committed (zero-sum)
+	vSum           // applied − committed checksum (zero-sum)
+	vApplied
+	vCommitted
+	vDropped
+	vKeys
+	vOwner
+	vStolen
+	vHeader
+	vVerifyBins = vHeader               // [vVerifyBins, +NBins): zero-sum bins
+	vSnapBins   = vHeader + proto.NBins // [vSnapBins, +NBins): absolute bins
+	vLen        = vHeader + 2*proto.NBins
+)
+
+// tagData is the single channel tag: each (ingester, aggregator) pair owns
+// one persistent channel carrying batch frames of dict/record/marker
+// messages, FIFO per link.
+const tagData = 0
+
+// Run executes the pipeline body on one rank.  Call it from inside
+// pure.Run; every rank returns the same Result.
+func Run(r *pure.Rank, cfg Config) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	if n := cfg.Ingesters + cfg.Aggregators; n != r.NRanks() {
+		return Result{}, fmt.Errorf("statsd: %d ingesters + %d aggregators need %d ranks, have %d",
+			cfg.Ingesters, cfg.Aggregators, n, r.NRanks())
+	}
+	if r.ID() < cfg.Ingesters {
+		return runIngester(r, cfg)
+	}
+	return runAggregator(r, cfg)
+}
+
+// share splits total into counts per worker, spreading the remainder over
+// the first workers.
+func share(total int64, workers, i int) int64 {
+	n := total / int64(workers)
+	if int64(i) < total%int64(workers) {
+		n++
+	}
+	return n
+}
+
+func runIngester(r *pure.Rank, cfg Config) (Result, error) {
+	c := r.World()
+	me := r.ID()
+	nAgg := cfg.Aggregators
+
+	it := cfg.Interner
+	if it == nil {
+		it = proto.NewInterner(4096)
+	}
+	hot := proto.NewHotSet(512)
+
+	gcfg := cfg.Gen
+	gcfg.Seed ^= uint64(me)*0x9e3779b97f4a7c15 + 1
+	gen := proto.NewGen(gcfg)
+
+	chans := make([]*pure.Channel, nAgg)
+	writers := make([]*proto.BatchWriter, nAgg)
+	for a := 0; a < nAgg; a++ {
+		chans[a] = c.SendChannel(cfg.Ingesters+a, tagData)
+		writers[a] = proto.NewBatchWriter()
+	}
+
+	var bins [proto.NBins]uint64 // committed checksum bins, all links
+	var dropped uint64
+	msgs := make([][]byte, 0, 3)
+	marker := make([]byte, 0, 32)
+	line := make([]byte, 0, 256)
+	var ev proto.Event
+
+	// flush sends writer d's pending frame.  Mid-round flushes honour the
+	// drop policy; round-ending flushes always block — markers and the
+	// batches they summarize must arrive.
+	flush := func(d int, blocking bool) {
+		w := writers[d]
+		if w.PendingBytes() == 0 {
+			return
+		}
+		msgs = w.Messages(msgs)
+		if blocking || !cfg.Drop {
+			chans[d].SendBatch(msgs)
+			w.Commit(&bins)
+			return
+		}
+		if chans[d].TrySendBatch(msgs) {
+			w.Commit(&bins)
+			return
+		}
+		dropped += uint64(w.Count())
+		w.Rollback()
+		if w.PendingBytes() >= cfg.FrameBytes {
+			// Rollback keeps dictionary bytes (definitions must arrive even
+			// when their events don't), so under sustained drops the dict
+			// alone can outgrow a frame.  It is control plane, like markers:
+			// deliver it blocking before it breaches the eager limit.
+			chans[d].SendBatch(w.Messages(msgs))
+			w.Commit(&bins)
+		}
+	}
+
+	myEvents := share(cfg.Events, cfg.Ingesters, me)
+	vec := make([]int64, vLen)
+	in := make([]byte, 8*vLen)
+	out := make([]byte, 8*vLen)
+	var res Result
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := share(myEvents, cfg.Rounds, round); i > 0; i-- {
+			line = gen.Next(line[:0])
+			if err := proto.ParseLine(line, &ev); err != nil {
+				return Result{}, fmt.Errorf("statsd: generator emitted a bad line %q: %w", line, err)
+			}
+			nameH := proto.Hash64(ev.Name)
+			ts := hot.Intern(it, proto.Hash64(ev.Tags), ev.Tags)
+			key := proto.KeyHash(nameH, ts.Hash, ev.Type)
+			d := int(key % uint64(nAgg))
+			w := writers[d]
+			w.Add(nameH, ev.Name, ts, ev.Type, ev.Value, key)
+			if w.Count() >= cfg.BatchEvents || w.PendingBytes() >= cfg.FrameBytes {
+				flush(d, false)
+			}
+		}
+		// Round rollup: everything pending is committed (blocking), then
+		// each link gets its marker carrying the cumulative totals.
+		final := round == cfg.Rounds-1
+		var committed, sum uint64
+		for d := range writers {
+			flush(d, true)
+			marker = writers[d].AppendMarker(marker, round, final)
+			chans[d].SendBatch(append(msgs[:0], marker))
+			committed += writers[d].SentEvents
+			sum += writers[d].SentSum
+		}
+		// Contribute the negated committed side of the zero-sum proof.
+		clear(vec)
+		vec[vEvents] = -int64(committed)
+		vec[vSum] = -int64(sum)
+		vec[vCommitted] = int64(committed)
+		vec[vDropped] = int64(dropped)
+		for b, v := range bins {
+			vec[vVerifyBins+b] = -int64(v)
+		}
+		pure.PutInt64s(in, vec)
+		c.Allreduce(in, out, pure.Sum, pure.Int64)
+		pure.GetInt64s(vec, out)
+		res = resultFrom(vec)
+	}
+	return res, nil
+}
+
+// stagedRec is one decoded record parked between receive and drain.
+type stagedRec struct {
+	key, nameH, tagH uint64
+	value            float64
+	typ              proto.MetricType
+}
+
+func runAggregator(r *pure.Rank, cfg Config) (Result, error) {
+	c := r.World()
+	nIng := cfg.Ingesters
+	nSub := cfg.Subshards
+
+	srcs := make([]*pure.Channel, nIng)
+	for s := 0; s < nIng; s++ {
+		srcs[s] = c.RecvChannel(s, tagData)
+	}
+
+	aggs := make([]*proto.Agg, nSub)
+	staged := make([][]stagedRec, nSub)
+	stagedCap := cfg.DrainEvents/nSub + 16
+	if stagedCap > 4096 {
+		stagedCap = 4096 // huge DrainEvents means "drain at round end"; grow lazily
+	}
+	for s := range aggs {
+		aggs[s] = proto.NewAgg()
+		staged[s] = make([]stagedRec, 0, stagedCap)
+	}
+
+	// The drain task: chunk s == sub-shard s.  Chunks touch disjoint
+	// (staged[s], aggs[s]) pairs, so stolen chunks race with nothing.
+	drainChunk := func(s int) {
+		a := aggs[s]
+		for _, rec := range staged[s] {
+			if cfg.WorkScale > 0 {
+				spinWork(rec.key, cfg.WorkScale)
+			}
+			a.Apply(rec.key, rec.nameH, rec.tagH, rec.typ, rec.value)
+		}
+		staged[s] = staged[s][:0]
+	}
+	task := r.NewTask(nSub, func(start, end int64, _ any) {
+		for s := start; s < end; s++ {
+			drainChunk(int(s))
+		}
+	})
+	var owner, stolen int64
+	nStaged := 0
+	drain := func() {
+		if nStaged == 0 {
+			return
+		}
+		if cfg.Steal {
+			st := task.Execute(nil)
+			owner += st.OwnerChunks
+			stolen += st.StolenChunks
+		} else {
+			for s := 0; s < nSub; s++ {
+				drainChunk(s)
+			}
+		}
+		nStaged = 0
+	}
+
+	stageCur := 0
+	names := make(map[uint64]string)
+	tagsets := make(map[uint64]string)
+	marks := make([]int, nIng)         // markers seen per source
+	linkEvents := make([]uint64, nIng) // cumulative committed, from markers
+	linkSums := make([]uint64, nIng)
+
+	frame := make([]byte, 2*cfg.FrameBytes)
+	msgs := make([][]byte, 0, 8)
+
+	handle := func(src int, m []byte) error {
+		kind, err := proto.MsgKind(m)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case proto.MsgDict:
+			return proto.DecodeDict(m, names, tagsets)
+		case proto.MsgRecords:
+			payload, n, err := proto.DecodeRecords(m)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				nameH, tagH, typ, value := proto.RecordAt(payload, i)
+				key := proto.KeyHash(nameH, tagH, typ)
+				// Round-robin staging, not key-hash staging: a zipf-hot key
+				// must spread over every sub-shard or its drain work would sit
+				// in one chunk no thief can split.  Each sub-shard owns a
+				// private Agg (the same key aggregates independently per
+				// sub-shard and the rollup merges the totals), the standard
+				// hot-key split-and-merge shape.
+				staged[stageCur] = append(staged[stageCur], stagedRec{key: key, nameH: nameH, tagH: tagH, value: value, typ: typ})
+				stageCur = (stageCur + 1) % nSub
+			}
+			nStaged += n
+		case proto.MsgMarker:
+			round, _, events, sum, err := proto.DecodeMarker(m)
+			if err != nil {
+				return err
+			}
+			if round != marks[src] {
+				return fmt.Errorf("statsd: source %d delivered marker for round %d during round %d (FIFO violated)",
+					src, round, marks[src])
+			}
+			marks[src]++
+			linkEvents[src] = events
+			linkSums[src] = sum
+		}
+		return nil
+	}
+
+	anyReady := func() bool {
+		for _, ch := range srcs {
+			if ch.RecvReady() {
+				return true
+			}
+		}
+		return false
+	}
+
+	vec := make([]int64, vLen)
+	in := make([]byte, 8*vLen)
+	out := make([]byte, 8*vLen)
+	var res Result
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for !roundDone(marks, round) {
+			// Park until a frame is ready; a parked aggregator steals drain
+			// chunks from its hot neighbours.
+			r.WaitFor(anyReady)
+			for src, ch := range srcs {
+				for {
+					ms, ok := ch.TryRecvBatch(frame, msgs)
+					if !ok {
+						break
+					}
+					for _, m := range ms {
+						if err := handle(src, m); err != nil {
+							return Result{}, err
+						}
+					}
+					if nStaged >= cfg.DrainEvents {
+						drain()
+					}
+				}
+			}
+		}
+		drain()
+
+		// Local cross-check before the global one: markers carry each
+		// link's committed totals, and FIFO order guarantees everything
+		// they summarize was received above.
+		var wantEvents, wantSum, applied, sum uint64
+		for s := range linkEvents {
+			wantEvents += linkEvents[s]
+			wantSum += linkSums[s]
+		}
+		var binsAcc [proto.NBins]uint64
+		var keys int64
+		for _, a := range aggs {
+			applied += a.Count
+			sum += a.Sum
+			keys += int64(a.Keys)
+			for b, v := range a.Bins {
+				binsAcc[b] += v
+			}
+		}
+		if applied != wantEvents || sum != wantSum {
+			return Result{}, fmt.Errorf("statsd: aggregator %d applied (%d events, sum %#x) but markers committed (%d, %#x)",
+				r.ID(), applied, sum, wantEvents, wantSum)
+		}
+
+		clear(vec)
+		vec[vEvents] = int64(applied)
+		vec[vSum] = int64(sum)
+		vec[vApplied] = int64(applied)
+		vec[vKeys] = keys
+		vec[vOwner] = owner
+		vec[vStolen] = stolen
+		for b, v := range binsAcc {
+			vec[vVerifyBins+b] = int64(v)
+			vec[vSnapBins+b] = int64(v)
+		}
+		pure.PutInt64s(in, vec)
+		c.Allreduce(in, out, pure.Sum, pure.Int64)
+		pure.GetInt64s(vec, out)
+		res = resultFrom(vec)
+	}
+	return res, nil
+}
+
+// roundDone reports whether every source's marker for round has arrived.
+func roundDone(marks []int, round int) bool {
+	for _, m := range marks {
+		if m <= round {
+			return false
+		}
+	}
+	return true
+}
+
+// resultFrom decodes the reduced verification vector.
+func resultFrom(vec []int64) Result {
+	res := Result{
+		Applied:   uint64(vec[vApplied]),
+		Committed: uint64(vec[vCommitted]),
+		Dropped:   uint64(vec[vDropped]),
+		Keys:      vec[vKeys],
+		Owner:     vec[vOwner],
+		Stolen:    vec[vStolen],
+	}
+	exact := vec[vEvents] == 0 && vec[vSum] == 0
+	for b := 0; b < proto.NBins; b++ {
+		if vec[vVerifyBins+b] != 0 {
+			exact = false
+		}
+		res.Bins[b] = uint64(vec[vSnapBins+b])
+		res.Sum += uint64(vec[vSnapBins+b])
+	}
+	res.Exact = exact
+	return res
+}
+
+// spinWork is the synthetic per-record compute (WorkScale): a short
+// data-dependent mix loop the compiler cannot elide.
+func spinWork(seed uint64, scale int) uint64 {
+	x := seed
+	for i := 0; i < scale; i++ {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		x *= 0x2545f4914f6cdd1d
+	}
+	return x
+}

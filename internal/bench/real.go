@@ -316,6 +316,7 @@ func All(quick bool) []Table {
 		AppCThreshold(quick),
 		AblationPBQSlots(quick),
 		RMAHalo(quick),
+		StatsdPipeline(quick),
 	}
 }
 
@@ -339,6 +340,7 @@ func ByID(id string) func(bool) Table {
 		"appC":         AppCThreshold,
 		"ablation-pbq": AblationPBQSlots,
 		"rma":          RMAHalo,
+		"statsd":       StatsdPipeline,
 	}
 	return m[id]
 }

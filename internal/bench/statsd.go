@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	appstatsd "repro/internal/apps/statsd"
+	proto "repro/internal/statsd"
+	"repro/pure"
+)
+
+// StatsdPipeline is the serving-workload experiment (ROADMAP item 3): the
+// DogStatsD-style aggregation pipeline at several load shapes, reporting
+// end-to-end events/sec.  The zipf rows are the skew-absorption comparison
+// the paper's task-stealing argument predicts: identical hot-keyed load
+// with the aggregator drain as a plain loop (nosteal) versus a stealable
+// Pure Task (steal), where the ranks otherwise spinning in the rollup
+// collective steal drain chunks instead.
+func StatsdPipeline(quick bool) Table {
+	events := int64(400_000)
+	reps := 5
+	if quick {
+		events = 80_000
+		reps = 3
+	}
+	tb := Table{
+		ID:      "statsd",
+		Title:   "Statsd pipeline: events/sec by load shape, steal-on vs steal-off",
+		Columns: []string{"scenario", "events/s", "per-event", "stolen-chunks", "exact"},
+		Notes: []string{
+			"2 ingesters + 2 aggregators on shared memory, medians of repeated runs",
+			"zipf rows run identical s=2.0 hot-keyed load with heavy drains; steal runs the drain as a Pure Task",
+			"flush totals are zero-sum checksum-verified every run (exact=yes required)",
+		},
+	}
+	type scenario struct {
+		name  string
+		procs int
+		cfg   appstatsd.Config
+	}
+	zipf := func(steal bool) appstatsd.Config {
+		return appstatsd.Config{
+			Gen:         proto.GenConfig{ZipfS: 2.0},
+			WorkScale:   2048,
+			Subshards:   32,
+			DrainEvents: 1 << 30, // stage whole rounds; drain at the rollup
+			Rounds:      int(events/131072) + 1,
+			Steal:       steal,
+		}
+	}
+	zp := runtime.NumCPU()
+	if zp < 2 {
+		zp = 2 // the steal comparison needs a P for the thieves
+	}
+	for _, sc := range []scenario{
+		{"uniform", 0, appstatsd.Config{}},
+		{"zipf-nosteal", zp, zipf(false)},
+		{"zipf-steal", zp, zipf(true)},
+		{"drop-policy", 0, appstatsd.Config{Drop: true}},
+	} {
+		var stolen int64
+		exact := true
+		perEvent := medianOf(reps, func() int64 {
+			res, elapsed := runStatsdOnce(sc.cfg, sc.procs, events)
+			stolen = res.Stolen
+			exact = exact && res.Exact
+			return elapsed.Nanoseconds() / events
+		})
+		ex := "yes"
+		if !exact {
+			ex = "NO"
+		}
+		tb.Rows = append(tb.Rows, []string{
+			sc.name,
+			fmt.Sprintf("%.3g", 1e9/float64(perEvent)),
+			ns(perEvent),
+			fmt.Sprint(stolen),
+			ex,
+		})
+	}
+	return tb
+}
+
+// runStatsdOnce executes one pipeline run and returns rank 0's verified
+// result plus the wall time.
+func runStatsdOnce(cfg appstatsd.Config, procs int, events int64) (appstatsd.Result, time.Duration) {
+	if procs == 0 {
+		procs = runtime.NumCPU()
+	}
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	cfg.Ingesters = 2
+	cfg.Aggregators = 2
+	cfg.Events = events
+	cfg.Interner = proto.NewInterner(4096)
+	var res appstatsd.Result
+	start := time.Now()
+	err := pure.Run(pure.Config{NRanks: 4}, func(r *pure.Rank) {
+		got, err := appstatsd.Run(r, cfg)
+		if err != nil {
+			r.Abort(err)
+		}
+		if r.ID() == 0 {
+			res = got
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res, time.Since(start)
+}

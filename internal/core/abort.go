@@ -41,12 +41,13 @@ const (
 	WaitRmaFence            // window fence: waiting for every member's epoch flag
 	WaitRmaPSCW             // PSCW start/wait: waiting for a peer's post/complete flag
 	WaitRmaNotify           // NotifyWait: waiting for a window notification counter
+	WaitApp                 // Rank.WaitFor: waiting on an application-defined condition
 )
 
 var waitKindNames = [...]string{
 	"none", "p2p-recv", "p2p-send", "rendezvous-recv", "rendezvous-send",
 	"remote-recv", "remote-send-ack", "collective", "task",
-	"rma-remote", "rma-fence", "rma-pscw", "rma-notify",
+	"rma-remote", "rma-fence", "rma-pscw", "rma-notify", "app-wait",
 }
 
 // String returns the kind's stable name (used in diagnostics and exports).
@@ -311,12 +312,12 @@ func (r *Rank) settleUnwoundWait(lw *lazyWait) {
 
 // Abort causes.
 const (
-	CausePanic    = "panic"    // a rank panicked
-	CauseAbort    = "abort"    // a rank called Rank.Abort
-	CauseDeadlock = "deadlock" // watchdog found a wait-for cycle
-	CauseStall    = "stall"    // watchdog found global no-progress without a cycle
-	CauseDeadline = "deadline" // Config.Deadline expired
-	CauseNetDead  = "net-dead" // a remote send exhausted its retry budget
+	CausePanic    = "panic"     // a rank panicked
+	CauseAbort    = "abort"     // a rank called Rank.Abort
+	CauseDeadlock = "deadlock"  // watchdog found a wait-for cycle
+	CauseStall    = "stall"     // watchdog found global no-progress without a cycle
+	CauseDeadline = "deadline"  // Config.Deadline expired
+	CauseNetDead  = "net-dead"  // a remote send exhausted its retry budget
 	CauseNodeDead = "node-dead" // the transport failure detector declared a peer node dead
 )
 

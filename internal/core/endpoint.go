@@ -140,9 +140,11 @@ type Channel struct {
 	comm   uint64
 	dir    epDir
 
-	eagerMax int        // the eager/rendezvous threshold, resolved once
-	ch       *channel   // intra-node channel; nil when the peer is remote
-	q        *queue.PBQ // eager queue, bound on first eager operation
+	eagerMax int            // the eager/rendezvous threshold, resolved once
+	ch       *channel       // intra-node channel; nil when the peer is remote
+	q        *queue.PBQ     // eager queue, bound on first eager operation
+	rem      *remoteChannel // inter-node mailbox, bound on first nonblocking probe
+	batch    []byte         // SendBatch coalescing scratch, endpoint-owned
 
 	// Pre-resolved observability handles.  All nil when the corresponding
 	// layer is disabled, so the fast path pays one nil check per layer and

@@ -423,19 +423,19 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 	// Adaptive SSW spin budget: the paper pins one rank per hardware thread
 	// and spins freely.  When this host cannot do that (goroutine ranks
 	// oversubscribed onto fewer cores), long spins only delay the scheduler
-	// from running the peer, so default to a near-immediate yield.
+	// from running the peer.  The budget derives from GOMAXPROCS against
+	// the goroutines this *process* actually hosts: under a real transport
+	// that is only this node's ranks — the old all-nodes maximum would let
+	// a 16-rank peer node throttle a process hosting one rank on idle
+	// cores — and without one it is every rank of every virtual node, all
+	// sharing this scheduler.
 	if rcfg.SpinBudget == 0 {
-		maxOnNode := 0
-		for n := 0; n < rcfg.Spec.Nodes; n++ {
-			if l := len(place.RanksOnNode(n)) + rcfg.HelpersPerNode; l > maxOnNode {
-				maxOnNode = l
-			}
+		tpNode := -1
+		if rt.tp != nil {
+			tpNode = rt.tp.Node()
 		}
-		if runtime.GOMAXPROCS(0) >= maxOnNode {
-			rt.cfg.SpinBudget = ssw.DefaultSpinBudget
-		} else {
-			rt.cfg.SpinBudget = 2
-		}
+		live := liveLocalRanks(place, rcfg.Spec.Nodes, rcfg.HelpersPerNode, tpNode)
+		rt.cfg.SpinBudget = deriveSpinBudget(runtime.GOMAXPROCS(0), live)
 	}
 
 	// Start helper threads (paper: "extra threads that continuously try to

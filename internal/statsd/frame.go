@@ -1,0 +1,255 @@
+package statsd
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Wire format between ingestion and aggregation ranks.  One Channel
+// SendBatch frame carries a handful of messages, each tagged by its first
+// byte:
+//
+//	'D' dictionary   entries of [space u8][hash u64][len u16][bytes]
+//	'R' records      [count u32] then count × 25-byte records
+//	'M' round marker [round u32][final u8][cum events u64][cum checksum u64]
+//
+// A record is [name hash u64][tagset hash u64][type u8][value f64] — 25
+// bytes.  Events travel as hashes only; the dictionary messages teach the
+// aggregator the hash→string mapping exactly once per (destination, name |
+// tagset), so the steady-state event stream never re-sends strings (the
+// interned-tagset payoff on the wire).  Markers carry the link's cumulative
+// committed event count and checksum, which the aggregator cross-checks
+// against what it applied before every flush rollup.
+const (
+	MsgDict    = 'D'
+	MsgRecords = 'R'
+	MsgMarker  = 'M'
+
+	// DictName/DictTagset are the dictionary-entry spaces.
+	DictName   = 0
+	DictTagset = 1
+
+	recSize       = 25
+	recordsHeader = 5  // kind + u32 count
+	markerSize    = 22 // kind + u32 round + u8 final + u64 events + u64 sum
+)
+
+var (
+	ErrShortMsg   = errors.New("statsd: truncated pipeline message")
+	ErrBadMsgKind = errors.New("statsd: unknown pipeline message kind")
+)
+
+// BatchWriter accumulates records bound for one destination aggregator and
+// finalizes them into coalesced frame messages.  It is single-owner (one
+// ingestion rank) and recycles all of its buffers, so the steady state
+// allocates nothing.
+//
+// Commit/Rollback make drop-policy backpressure exact: records count toward
+// the link's cumulative totals only when the batch was actually enqueued,
+// and dictionary bytes survive a rollback (they are definitions, not
+// events — the next successful batch delivers them).
+type BatchWriter struct {
+	recs     []byte   // 'R' message under construction
+	dict     []byte   // 'D' message under construction (may span batches)
+	count    int      // records in recs
+	bins     []uint16 // per-record checksum bin, parallel to recs
+	contribs []uint64 // per-record checksum contribution
+
+	sentNames map[uint64]struct{} // hashes defined on this link (incl. in-flight dict)
+	sentTags  map[uint64]struct{}
+
+	// Cumulative committed link totals, mirrored by the receiver.
+	SentEvents uint64
+	SentSum    uint64
+}
+
+// NewBatchWriter returns a writer for one ingester→aggregator link.
+func NewBatchWriter() *BatchWriter {
+	return &BatchWriter{
+		sentNames: make(map[uint64]struct{}),
+		sentTags:  make(map[uint64]struct{}),
+	}
+}
+
+// Add appends one event record.  name is the metric-name bytes (used only
+// the first time its hash is seen on this link, for the dictionary); ts is
+// the interned tagset.  key is the event's KeyHash, used to bin its
+// checksum contribution.
+func (w *BatchWriter) Add(nameH uint64, name []byte, ts *Tagset, typ MetricType, value float64, key uint64) {
+	if _, ok := w.sentNames[nameH]; !ok {
+		w.sentNames[nameH] = struct{}{}
+		w.dict = appendDictEntry(w.dict, DictName, nameH, name)
+	}
+	if _, ok := w.sentTags[ts.Hash]; !ok {
+		w.sentTags[ts.Hash] = struct{}{}
+		w.dict = appendDictEntry(w.dict, DictTagset, ts.Hash, []byte(ts.Raw))
+	}
+	if len(w.recs) == 0 {
+		w.recs = append(w.recs, MsgRecords, 0, 0, 0, 0)
+	}
+	var rec [recSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], nameH)
+	binary.LittleEndian.PutUint64(rec[8:], ts.Hash)
+	rec[16] = byte(typ)
+	binary.LittleEndian.PutUint64(rec[17:], math.Float64bits(value))
+	w.recs = append(w.recs, rec[:]...)
+	w.bins = append(w.bins, uint16(Bin(key)))
+	w.contribs = append(w.contribs, Contribution(nameH, ts.Hash, typ, value))
+	w.count++
+}
+
+func appendDictEntry(b []byte, space byte, hash uint64, s []byte) []byte {
+	if len(b) == 0 {
+		b = append(b, MsgDict)
+	}
+	var hdr [11]byte
+	hdr[0] = space
+	binary.LittleEndian.PutUint64(hdr[1:], hash)
+	binary.LittleEndian.PutUint16(hdr[9:], uint16(len(s)))
+	b = append(b, hdr[:]...)
+	return append(b, s...)
+}
+
+// Count reports the records buffered since the last Commit/Rollback.
+func (w *BatchWriter) Count() int { return w.count }
+
+// PendingBytes reports the total frame payload a Messages call would emit.
+func (w *BatchWriter) PendingBytes() int { return len(w.dict) + len(w.recs) }
+
+// Messages finalizes the pending dictionary and record messages into dst
+// (reusing its backing array) for a Channel SendBatch.  The writer still
+// owns the returned buffers: call Commit after a successful send or
+// Rollback after a dropped one before the next Add.
+func (w *BatchWriter) Messages(dst [][]byte) [][]byte {
+	dst = dst[:0]
+	if len(w.dict) > 0 {
+		dst = append(dst, w.dict)
+	}
+	if w.count > 0 {
+		binary.LittleEndian.PutUint32(w.recs[1:], uint32(w.count))
+		dst = append(dst, w.recs)
+	}
+	return dst
+}
+
+// Commit folds the batch into the link's cumulative totals (and the
+// ingester's flush bins) after a successful send, then resets all pending
+// buffers including the delivered dictionary bytes.
+func (w *BatchWriter) Commit(bins *[NBins]uint64) {
+	for i, c := range w.contribs {
+		bins[w.bins[i]] += c
+		w.SentSum += c
+	}
+	w.SentEvents += uint64(w.count)
+	w.reset()
+	w.dict = w.dict[:0]
+}
+
+// Rollback discards the batch's records after a dropped send.  Dictionary
+// bytes are kept: definitions must eventually arrive even if these events
+// never do.
+func (w *BatchWriter) Rollback() { w.reset() }
+
+func (w *BatchWriter) reset() {
+	w.recs = w.recs[:0]
+	w.bins = w.bins[:0]
+	w.contribs = w.contribs[:0]
+	w.count = 0
+}
+
+// AppendMarker builds a round-marker message carrying the link's cumulative
+// committed totals.  Markers are sent blocking (control plane) and are
+// FIFO-ordered behind every committed record batch, so when the aggregator
+// sees round r's marker it has applied exactly SentEvents/SentSum.
+func (w *BatchWriter) AppendMarker(buf []byte, round int, final bool) []byte {
+	var m [markerSize]byte
+	m[0] = MsgMarker
+	binary.LittleEndian.PutUint32(m[1:], uint32(round))
+	if final {
+		m[5] = 1
+	}
+	binary.LittleEndian.PutUint64(m[6:], w.SentEvents)
+	binary.LittleEndian.PutUint64(m[14:], w.SentSum)
+	return append(buf[:0], m[:]...)
+}
+
+// MsgKind classifies one pipeline message.
+func MsgKind(msg []byte) (byte, error) {
+	if len(msg) == 0 {
+		return 0, ErrShortMsg
+	}
+	switch msg[0] {
+	case MsgDict, MsgRecords, MsgMarker:
+		return msg[0], nil
+	}
+	return 0, ErrBadMsgKind
+}
+
+// DecodeDict merges a dictionary message into the aggregator's hash→string
+// maps.  Entries are idempotent (links may re-learn after reconnects).
+func DecodeDict(msg []byte, names, tagsets map[uint64]string) error {
+	b := msg[1:]
+	for len(b) > 0 {
+		if len(b) < 11 {
+			return ErrShortMsg
+		}
+		space := b[0]
+		hash := binary.LittleEndian.Uint64(b[1:])
+		n := int(binary.LittleEndian.Uint16(b[9:]))
+		b = b[11:]
+		if len(b) < n {
+			return ErrShortMsg
+		}
+		switch space {
+		case DictName:
+			if _, ok := names[hash]; !ok {
+				names[hash] = string(b[:n])
+			}
+		case DictTagset:
+			if _, ok := tagsets[hash]; !ok {
+				tagsets[hash] = string(b[:n])
+			}
+		default:
+			return ErrBadMsgKind
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// DecodeRecords validates a records message and returns its payload and
+// record count; read individual records with RecordAt.
+func DecodeRecords(msg []byte) (payload []byte, n int, err error) {
+	if len(msg) < recordsHeader {
+		return nil, 0, ErrShortMsg
+	}
+	n = int(binary.LittleEndian.Uint32(msg[1:]))
+	payload = msg[recordsHeader:]
+	if len(payload) != n*recSize {
+		return nil, 0, ErrShortMsg
+	}
+	return payload, n, nil
+}
+
+// RecordAt decodes record i of a validated records payload.
+func RecordAt(payload []byte, i int) (nameH, tagH uint64, typ MetricType, value float64) {
+	rec := payload[i*recSize:]
+	nameH = binary.LittleEndian.Uint64(rec[0:])
+	tagH = binary.LittleEndian.Uint64(rec[8:])
+	typ = MetricType(rec[16])
+	value = math.Float64frombits(binary.LittleEndian.Uint64(rec[17:]))
+	return
+}
+
+// DecodeMarker decodes a round-marker message.
+func DecodeMarker(msg []byte) (round int, final bool, events, sum uint64, err error) {
+	if len(msg) != markerSize {
+		return 0, false, 0, 0, ErrShortMsg
+	}
+	round = int(binary.LittleEndian.Uint32(msg[1:]))
+	final = msg[5] != 0
+	events = binary.LittleEndian.Uint64(msg[6:])
+	sum = binary.LittleEndian.Uint64(msg[14:])
+	return
+}

@@ -1,0 +1,112 @@
+package statsd
+
+import (
+	"math"
+	"strconv"
+)
+
+// GenConfig shapes the synthetic DogStatsD traffic.
+type GenConfig struct {
+	// Keys is the number of distinct (metric, tagset) series (default 1024).
+	Keys int
+	// Metrics and Tagsets bound the distinct name and tagset pools a key
+	// draws from (defaults 64 and 256) — many keys share names and tagsets,
+	// like real traffic.
+	Metrics int
+	Tagsets int
+	// ZipfS is the skew exponent of the key popularity distribution: 0 is
+	// uniform; 1.2 is a realistically hot-key-heavy serving load.
+	ZipfS float64
+	// Seed perturbs the value stream and key order (each ingester derives
+	// its own).
+	Seed uint64
+}
+
+func (c *GenConfig) defaults() {
+	if c.Keys == 0 {
+		c.Keys = 1024
+	}
+	if c.Metrics == 0 {
+		c.Metrics = 64
+	}
+	if c.Tagsets == 0 {
+		c.Tagsets = 256
+	}
+}
+
+// Gen deterministically emits DogStatsD lines with a zipf-skewed key
+// popularity distribution.  All strings are precomputed, so Next costs one
+// PRNG step, one binary search over the popularity CDF, and byte appends —
+// the ingestion benchmark measures parsing, not generation.
+type Gen struct {
+	cfg   GenConfig
+	rng   uint64
+	cum   []float64 // popularity CDF over keys
+	lines [][]byte  // per-key line prefix "name:" and suffix "|type|#tags"
+	sufs  [][]byte
+	seq   uint64
+}
+
+// NewGen builds a generator.
+func NewGen(cfg GenConfig) *Gen {
+	cfg.defaults()
+	g := &Gen{cfg: cfg, rng: cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	g.cum = make([]float64, cfg.Keys)
+	total := 0.0
+	for i := 0; i < cfg.Keys; i++ {
+		total += 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		g.cum[i] = total
+	}
+	for i := range g.cum {
+		g.cum[i] /= total
+	}
+	g.lines = make([][]byte, cfg.Keys)
+	g.sufs = make([][]byte, cfg.Keys)
+	for i := 0; i < cfg.Keys; i++ {
+		// Key → (name, tagset, type): keys deliberately share names and
+		// tagsets; the multiplier decorrelates the two indices.
+		name := "svc.req.metric_" + strconv.Itoa(i%cfg.Metrics)
+		tags := "env:prod,svc:api,host:web-" + strconv.Itoa((i*7)%cfg.Tagsets) +
+			",az:z" + strconv.Itoa(i%3)
+		typ := MetricType(i % int(nMetricTypes))
+		g.lines[i] = []byte(name + ":")
+		g.sufs[i] = []byte("|" + typ.String() + "|#" + tags)
+	}
+	return g
+}
+
+// Next appends one wire line to buf (typically buf[:0] of a reused buffer)
+// and returns the extended slice.
+func (g *Gen) Next(buf []byte) []byte {
+	k := g.pick()
+	g.seq++
+	v := int64(g.seq*7+uint64(k)*13)%1000 + 1
+	buf = append(buf, g.lines[k]...)
+	buf = strconv.AppendInt(buf, v, 10)
+	return append(buf, g.sufs[k]...)
+}
+
+// pick samples a key index from the zipf CDF.
+func (g *Gen) pick() int {
+	u := float64(g.next()>>11) / float64(1<<53)
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// next is xorshift64*.
+func (g *Gen) next() uint64 {
+	x := g.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	g.rng = x
+	return x * 0x2545f4914f6cdd1d
+}

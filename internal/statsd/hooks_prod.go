@@ -1,0 +1,9 @@
+//go:build !purecheck
+
+package statsd
+
+// schedpoint is the deterministic concurrency checker's scheduling seam: the
+// production build compiles it to nothing (the call inlines away), while the
+// purecheck build hands control to the checker at each labeled point.  See
+// internal/check.
+func schedpoint(label string) {}

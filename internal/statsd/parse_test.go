@@ -1,0 +1,114 @@
+package statsd
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		val  float64
+		typ  MetricType
+		tags string
+		rate float64
+	}{
+		{"http.req:1|c", "http.req", 1, Counter, "", 1},
+		{"mem.rss:1048576|g", "mem.rss", 1048576, Gauge, "", 1},
+		{"req.size:3.5|h|#env:prod,host:a", "req.size", 3.5, Histogram, "env:prod,host:a", 1},
+		{"req.dur:12.25|ms|@0.5|#env:prod", "req.dur", 12.25, Timer, "env:prod", 0.5},
+		{"req.dur:-4|ms|#a:b|@0.25", "req.dur", -4, Timer, "a:b", 0.25},
+		{"x:+0.125|c", "x", 0.125, Counter, "", 1},
+	}
+	var ev Event
+	for _, c := range cases {
+		if err := ParseLine([]byte(c.in), &ev); err != nil {
+			t.Fatalf("ParseLine(%q): %v", c.in, err)
+		}
+		if string(ev.Name) != c.name || ev.Value != c.val || ev.Type != c.typ ||
+			string(ev.Tags) != c.tags || ev.SampleRate != c.rate {
+			t.Fatalf("ParseLine(%q) = %+v (tags %q)", c.in, ev, ev.Tags)
+		}
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	bad := []string{
+		"", ":1|c", "name", "name:|c", "name:1", "name:1|x", "name:1|msx",
+		"name:1|c|%oops", "name:1|c|@2", "name:1|c|@",
+		"name:abc|c", "name:1.2.3|c", "name:1e6|c", "name:12345678901234567890|c",
+		"name:1.|c",
+	}
+	var ev Event
+	for _, in := range bad {
+		if err := ParseLine([]byte(in), &ev); err == nil {
+			t.Fatalf("ParseLine(%q) accepted, want error (got %+v)", in, ev)
+		}
+	}
+}
+
+func TestParseLineZeroAlloc(t *testing.T) {
+	line := []byte("svc.req.metric_7:42|ms|#env:prod,svc:api,host:web-3,az:z1")
+	var ev Event
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := ParseLine(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		_ = Hash64(ev.Name)
+		_ = Hash64(ev.Tags)
+	})
+	if allocs != 0 {
+		t.Fatalf("parse+hash allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestHash64(t *testing.T) {
+	if Hash64([]byte("abc")) != Hash64([]byte("abc")) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	seen := map[uint64]string{}
+	for i := 0; i < 10000; i++ {
+		s := "key-" + strconv.Itoa(i)
+		h := Hash64([]byte(s))
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Hash64 collision between %q and %q", prev, s)
+		}
+		seen[h] = s
+	}
+	// KeyHash must distinguish a name↔tagset swap.
+	if KeyHash(1, 2, Counter) == KeyHash(2, 1, Counter) {
+		t.Fatal("KeyHash symmetric under name/tagset swap")
+	}
+	if KeyHash(1, 2, Counter) == KeyHash(1, 2, Gauge) {
+		t.Fatal("KeyHash ignores metric type")
+	}
+}
+
+// FuzzStatsdParse: malformed input never panics, and accepted input
+// round-trips the invariants the pipeline relies on (non-empty name, a
+// known type, a sane sample rate).
+func FuzzStatsdParse(f *testing.F) {
+	f.Add([]byte("http.req:1|c"))
+	f.Add([]byte("req.dur:12.25|ms|@0.5|#env:prod,host:web-1"))
+	f.Add([]byte("a:b:c:1|g|#t"))
+	f.Add([]byte("x:1|h|@0.01"))
+	f.Add([]byte(":::|||###@@@"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var ev Event
+		if err := ParseLine(line, &ev); err != nil {
+			return
+		}
+		if len(ev.Name) == 0 {
+			t.Fatalf("accepted %q with empty name", line)
+		}
+		if ev.Type >= nMetricTypes {
+			t.Fatalf("accepted %q with type %d", line, ev.Type)
+		}
+		if !(ev.SampleRate > 0 && ev.SampleRate <= 1) {
+			t.Fatalf("accepted %q with rate %v", line, ev.SampleRate)
+		}
+		_ = Hash64(ev.Name)
+		_ = Hash64(ev.Tags)
+	})
+}

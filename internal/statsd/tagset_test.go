@@ -1,0 +1,130 @@
+package statsd
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestInternerDedup(t *testing.T) {
+	it := NewInterner(64)
+	raw := []byte("env:prod,host:a")
+	h := Hash64(raw)
+	a := it.Intern(h, raw)
+	b := it.Intern(h, raw)
+	if a != b {
+		t.Fatal("same tagset interned to different pointers")
+	}
+	if a.Raw != string(raw) || a.Hash != h {
+		t.Fatalf("interned tagset %+v", a)
+	}
+	if it.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", it.Len())
+	}
+	hits, misses, _ := it.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestInternerHashCollision(t *testing.T) {
+	// Two different raws forced onto the same hash must stay distinct
+	// (linear probing on the Raw compare).
+	it := NewInterner(64)
+	a := it.Intern(42, []byte("a:1"))
+	b := it.Intern(42, []byte("b:2"))
+	if a == b {
+		t.Fatal("colliding tagsets aliased")
+	}
+	if it.Intern(42, []byte("a:1")) != a || it.Intern(42, []byte("b:2")) != b {
+		t.Fatal("collided tagsets did not re-resolve to their pointers")
+	}
+}
+
+func TestInternerOverflow(t *testing.T) {
+	it := NewInterner(16) // limit = 12
+	var last *Tagset
+	for i := 0; i < 64; i++ {
+		raw := []byte("k:" + strconv.Itoa(i))
+		last = it.Intern(Hash64(raw), raw)
+	}
+	if last == nil || last.Raw != "k:63" {
+		t.Fatalf("overflow intern returned %+v", last)
+	}
+	if _, _, over := it.Stats(); over == 0 {
+		t.Fatal("filling a 16-slot table with 64 tagsets recorded no overflows")
+	}
+	if it.Len() > 12 {
+		t.Fatalf("interner exceeded its load limit: %d", it.Len())
+	}
+}
+
+// TestInternerConcurrentFirstIntern is the -race half of the satellite-3
+// coverage (the purecheck model test in internal/check explores the
+// schedule space): many goroutines intern the same working set through
+// private hot sets; every goroutine must converge on pointer-identical
+// tagsets.
+func TestInternerConcurrentFirstIntern(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		workers = 8
+		keys    = 200
+		rounds  = 50
+	)
+	it := NewInterner(1024)
+	raws := make([][]byte, keys)
+	hashes := make([]uint64, keys)
+	for i := range raws {
+		raws[i] = []byte("env:prod,host:h" + strconv.Itoa(i))
+		hashes[i] = Hash64(raws[i])
+	}
+	got := make([][]*Tagset, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hot := NewHotSet(64)
+			mine := make([]*Tagset, keys)
+			for r := 0; r < rounds; r++ {
+				for i := range raws {
+					ts := hot.Intern(it, hashes[i], raws[i])
+					if mine[i] == nil {
+						mine[i] = ts
+					} else if mine[i] != ts {
+						panic("tagset pointer changed between interns")
+					}
+				}
+			}
+			got[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range raws {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d interned key %d to a different pointer", w, i)
+			}
+		}
+	}
+	if it.Len() != keys {
+		t.Fatalf("interned %d distinct tagsets, want %d", it.Len(), keys)
+	}
+}
+
+func TestHotSetSteadyStateZeroAlloc(t *testing.T) {
+	it := NewInterner(256)
+	hot := NewHotSet(256)
+	raw := []byte("env:prod,svc:api,host:web-3")
+	h := Hash64(raw)
+	hot.Intern(it, h, raw) // warm
+	allocs := testing.AllocsPerRun(1000, func() {
+		if hot.Intern(it, h, raw) == nil {
+			t.Fatal("nil tagset")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-set intern allocates %v/op, want 0", allocs)
+	}
+}

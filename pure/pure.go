@@ -311,6 +311,13 @@ func (r *Rank) Metrics() *Metrics { return r.r.Metrics() }
 // which port the monitor picked.
 func (r *Rank) MonitorAddr() string { return r.r.MonitorAddr() }
 
+// WaitFor parks the rank in the SSW-Loop until cond reports true: between
+// probes the rank steals Pure Task chunks, and aborts and dead-node
+// detection unwind the wait like any runtime-internal blocking site.  cond
+// must be cheap and side-effect-free on the false path — typically a fan-in
+// over Channel.RecvReady or Channel.TryRecv across many sources.
+func (r *Rank) WaitFor(cond func() bool) { r.r.WaitFor(cond) }
+
 // NewTask defines a Pure Task split into nchunks chunks.  body receives a
 // half-open chunk range [start, end) that it must process exactly once per
 // execution, plus the per-execute argument; it must be thread-safe across

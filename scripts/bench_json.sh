@@ -1,18 +1,18 @@
 #!/bin/sh
 # bench_json.sh — run the PR's headline microbenchmarks and emit their
-# ns/op AND allocs/op as machine-readable JSON (BENCH_pr7.json), so perf and
+# ns/op AND allocs/op as machine-readable JSON (BENCH_pr8.json), so perf and
 # allocation regressions in the hot loops are visible across commits.  This
-# PR adds the real-TCP transport benchmarks: a two-node 8-byte ping-pong
-# and a 2-node x 2-rank Allreduce, each crossing real sockets between two
-# full runtimes in one process.  These ride the netpoller, so their
-# numbers are dominated by socket wakeup latency, not the shared-memory
-# paths the other benchmarks pin.
+# PR adds the statsd serving pipeline (docs/STATSD.md): batched channel
+# sends vs the per-message baseline, and the end-to-end pipeline at four
+# load shapes — ns/op there is per *event*, so 1e9/ns-op is the events/sec
+# headline, and the zipf-steal vs zipf-nosteal pair is the skew-absorption
+# comparison (steal must be the faster of the two).
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr7.json}
+out=${1:-BENCH_pr8.json}
 benchtime=${PURE_BENCHTIME:-1s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -47,24 +47,40 @@ go test -run XXX -bench 'BenchmarkTCPPingPong8B$' -benchmem -benchtime "$benchti
 echo "== TCP Allreduce, 2 nodes x 2 ranks over real sockets (internal/core)"
 go test -run XXX -bench 'BenchmarkTCPAllreduce8B$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
+echo "== Channel batched vs unbatched sends, 25B records (internal/core)"
+go test -run XXX -bench 'BenchmarkChannelSendBatch$|BenchmarkChannelSendUnbatched$' \
+    -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== statsd steady-state parse + aggregation (internal/statsd)"
+go test -run XXX -bench 'BenchmarkStatsdParse$|BenchmarkStatsdAggregate$' \
+    -benchmem -benchtime "$benchtime" ./internal/statsd | tee -a "$tmp"
+
+echo "== statsd pipeline, per-event end to end (internal/apps/statsd)"
+# Fixed iteration counts: the zipf pair must run identical event volumes for
+# the steal-on vs steal-off ns/op comparison to be apples-to-apples.
+go test -run XXX -bench 'BenchmarkStatsdPipeline/uniform' -benchtime 500000x ./internal/apps/statsd | tee -a "$tmp"
+go test -run XXX -bench 'BenchmarkStatsdPipeline/zipf' -benchtime 400000x ./internal/apps/statsd | tee -a "$tmp"
+go test -run XXX -bench 'BenchmarkStatsdPipeline/drop-policy' -benchtime 500000x ./internal/apps/statsd | tee -a "$tmp"
+
 # Parse `BenchmarkName[/sub]-P  N  123.4 ns/op  0 B/op  0 allocs/op` lines
-# into JSON: ns under the bench name, allocs/op under "<name>:allocs".
+# into JSON: ns under the bench name, allocs/op under "<name>:allocs", and
+# the pipeline's custom events/s and stolen-chunks metrics under their own
+# suffixed keys.
 awk '
 BEGIN { print "{"; first = 1 }
+function emit(key, val) {
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": %s", key, val
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     for (i = 2; i < NF; i++) {
-        if ($(i + 1) == "ns/op") {
-            if (!first) printf ",\n"
-            first = 0
-            printf "  \"%s\": %s", name, $i
-        }
-        if ($(i + 1) == "allocs/op") {
-            if (!first) printf ",\n"
-            first = 0
-            printf "  \"%s:allocs\": %s", name, $i
-        }
+        if ($(i + 1) == "ns/op") emit(name, $i)
+        if ($(i + 1) == "allocs/op") emit(name ":allocs", $i)
+        if ($(i + 1) == "events/s") emit(name ":events/s", $i)
+        if ($(i + 1) == "stolen-chunks") emit(name ":stolen-chunks", $i)
     }
 }
 END { print "\n}" }

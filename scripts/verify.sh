@@ -18,7 +18,8 @@ go test ./...
 
 echo "== go test -race (concurrent core packages)"
 go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
-    ./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/transport
+    ./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/transport \
+    ./internal/statsd
 
 echo "== deterministic schedule checker (short budget; full run: make check)"
 PURE_CHECK_SEEDS=64 go test -tags purecheck -count=1 ./internal/check
@@ -28,6 +29,7 @@ go test -count=1 -fuzz FuzzFrameDecode -fuzztime 5s ./internal/rma
 go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/codec
 go test -count=1 -fuzz FuzzFrameDecode -fuzztime 5s ./internal/transport
 go test -count=1 -fuzz FuzzControlDecode -fuzztime 5s ./internal/transport
+go test -count=1 -fuzz FuzzStatsdParse -fuzztime 5s ./internal/statsd
 
 echo "== chaos suite (watchdog/abort/fault-injection under -race)"
 go test -race -count=1 \
@@ -69,6 +71,42 @@ case "$runout" in
     echo "$runout" >&2
     exit 1 ;;
 esac
+
+echo "== statsd pipeline smoke (checksum-asserted flush totals; docs/STATSD.md)"
+# Three shapes: blocking (every event applied), drop-policy backpressure
+# (shed load still exactly accounted), and skewed stealing drains.  EXACT
+# means the zero-sum Allreduce proof held: applied == committed on every
+# counter, sum and histogram bin, so any lost or double-counted event fails.
+smokeout="$(go run ./cmd/purestatsd -events 20000 -rounds 2)"
+echo "$smokeout"
+case "$smokeout" in *"EXACT"*) ;; *)
+    echo "verify: FAIL — statsd blocking smoke not EXACT" >&2; exit 1 ;;
+esac
+case "$smokeout" in *"applied 20000, dropped 0"*) ;; *)
+    echo "verify: FAIL — statsd blocking smoke lost events" >&2; exit 1 ;;
+esac
+smokeout="$(go run ./cmd/purestatsd -events 20000 -rounds 2 -drop -pbq 4 -batch 16 -zipf 1.2 -steal -workscale 32)"
+echo "$smokeout"
+case "$smokeout" in *"EXACT"*) ;; *)
+    echo "verify: FAIL — statsd drop/steal smoke not EXACT" >&2; exit 1 ;;
+esac
+
+echo "== statsd zero-allocation gate (steady-state parse + aggregation paths)"
+# The serving pipeline's throughput claim rests on an allocation-free
+# steady state: parse is zero-copy and aggregation hits the slab.  Like the
+# endpoint gate above, allocs/op is machine-independent.
+allocout="$(go test -run XXX -bench 'BenchmarkStatsdParse$|BenchmarkStatsdAggregate$' \
+    -benchmem -benchtime 5000x ./internal/statsd)"
+echo "$allocout" | grep '^Benchmark'
+bad="$(echo "$allocout" | awk '/^Benchmark/ {
+    for (i = 2; i < NF; i++)
+        if ($(i + 1) == "allocs/op" && $i + 0 != 0) print $1, $i, "allocs/op"
+}')"
+if [ -n "$bad" ]; then
+    echo "verify: FAIL — statsd steady-state benchmarks allocate:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
 
 echo "== purebench RMA smoke (one-sided vs two-sided halo, quick scale)"
 go run ./cmd/purebench -quick -exp rma
