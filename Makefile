@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test race chaos chaos-net check fuzz verify bench bench-json analyze statsd
+.PHONY: build test race chaos chaos-net check fuzz verify bench bench-json analyze statsd shmem
 
 build:
 	go build ./...
@@ -10,7 +10,8 @@ test:
 
 race:
 	go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
-		./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/statsd
+		./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/statsd \
+		./internal/shmem ./internal/apps/shmem
 
 # The deterministic schedule explorer: model tests for the lock-free
 # protocols (PBQ/ring FIFO refinement, SPTD no-lost-contribution, RMA
@@ -26,6 +27,7 @@ fuzz:
 	go test -count=1 -fuzz FuzzFrameDecode -fuzztime 30s ./internal/rma
 	go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/codec
 	go test -count=1 -fuzz FuzzStatsdParse -fuzztime 30s ./internal/statsd
+	go test -count=1 -fuzz FuzzShmemFrame -fuzztime 30s ./internal/shmem
 
 # The robustness suite under the race detector: watchdog/abort containment
 # plus the fault-injection (drop/dup/reorder) chaos tests across several
@@ -34,7 +36,7 @@ fuzz:
 chaos:
 	go test -race -count=1 \
 		-run 'TestChaos|TestWatchdog|TestPanic|TestRankAbort|TestAllPanicked|TestDeadline|TestNilRank|TestAbortEmits|TestPoison|TestDeadlockDiagnosis|TestAbortFrom|TestFaultInjection|TestRMA' \
-		./internal/core ./internal/ssw ./pure
+		./internal/core ./internal/ssw ./pure ./internal/apps/shmem
 
 # Chaos against the real TCP transport: full runtimes over real sockets
 # in one process (lossy links, kill-link reconnect, partition-to-death)
@@ -53,7 +55,7 @@ verify:
 bench:
 	go test -run XXX -bench . -benchtime=1s ./internal/core
 
-# Headline microbenchmarks as JSON (BENCH_pr7.json) for cross-commit
+# Headline microbenchmarks as JSON (BENCH_pr9.json) for cross-commit
 # comparison.
 bench-json:
 	sh scripts/bench_json.sh
@@ -72,3 +74,11 @@ statsd:
 	go test -race -count=1 ./internal/statsd
 	go run ./cmd/purestatsd -events 200000 -zipf 1.2 -steal -workscale 64
 	go run ./cmd/purebench -quick -exp statsd
+
+# The PGAS layer (docs/SHMEM.md): symmetric-heap/mailbox unit tests and
+# the exactness-proof apps (the lossy netsim chaos runs under -race),
+# then the exactness-gated benchmark table.
+shmem:
+	go test -count=1 ./internal/shmem ./internal/apps/shmem ./pure
+	go test -race -count=1 ./internal/shmem ./internal/apps/shmem
+	go run ./cmd/purebench -quick -exp shmem

@@ -12,7 +12,7 @@
 //	purebench -monitor :8080    # serve the live monitor during the run
 //
 // Experiment ids: sec2 fig4 fig5a fig5b fig5c fig5d fig6 fig6real fig7a
-// fig7b fig7breal fig7c appA appC ablation-pbq rma statsd.
+// fig7b fig7breal fig7c appA appC ablation-pbq rma shmem statsd.
 //
 // -trace, -metrics and -trace-bin run an observed workload under the
 // runtime observability layer instead of the experiment tables: the Chrome

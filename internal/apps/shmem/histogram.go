@@ -1,0 +1,150 @@
+// Package shmemapp holds the PGAS-layer applications: a distributed
+// histogram driven entirely by remote atomic adds, and a level-synchronous
+// BFS whose frontier exchange rides actor mailboxes.  Both are exactness
+// proofs as much as benchmarks — every run recomputes a serial reference
+// from the same deterministic generator and the distributed result must
+// match it bit-exactly, on one node and across lossy multi-node transports
+// alike.
+package shmemapp
+
+import (
+	"fmt"
+
+	"repro/pure"
+)
+
+// splitmix64 is the deterministic value stream both the distributed ranks
+// and the serial reference draw from (Steele et al.'s SplitMix64 finalizer;
+// the same generator seeds the statsd pipeline).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// histValue is item i of rank rk in round rd: a pure function of the
+// configuration seed, so any rank can regenerate any other rank's stream.
+func histValue(seed uint64, rk, rd, i int) uint64 {
+	return splitmix64(seed ^ uint64(rk)<<40 ^ uint64(rd)<<20 ^ uint64(i))
+}
+
+// HistConfig parameterizes one histogram run.  Every rank passes identical
+// values.
+type HistConfig struct {
+	// Bins is the global bin count (default 256).  Bin b lives on rank
+	// b % Size at symmetric index b / Size, so every rank owns a strided
+	// share and most increments are remote.
+	Bins int
+	// Items is the per-rank item count per round (default 2048).
+	Items int
+	// Rounds phases the run (default 3): each round ends with a heap
+	// barrier and a bit-exact comparison of every bin against the serial
+	// reference, so a lost remote AtomicAdd is caught in the round it
+	// happened, not just at the end.
+	Rounds int
+	// Seed selects the value stream (default 1).
+	Seed uint64
+	// OnRound, when non-nil, is called on every rank after round rd's
+	// verification with that round's cumulative exactness (the live-chaos
+	// worker prints these as per-round proof lines).
+	OnRound func(rd int, exact bool)
+}
+
+func (c *HistConfig) defaults() {
+	if c.Bins <= 0 {
+		c.Bins = 256
+	}
+	if c.Items <= 0 {
+		c.Items = 2048
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// HistResult is the verified outcome of one histogram run.
+type HistResult struct {
+	Rounds  int
+	Updates int64 // increments issued across all ranks
+	Sum     int64 // order-independent checksum: sum of count[b]*(b+1)
+	Exact   bool  // every round matched the serial reference on every rank
+}
+
+// HistReference computes the serial cumulative histogram after `rounds`
+// rounds with `ranks` participating ranks — the oracle the distributed run
+// is compared against (exported for the bench/chaos harnesses to prove
+// partial totals against).
+func HistReference(cfg HistConfig, ranks, rounds int) []int64 {
+	cfg.defaults()
+	ref := make([]int64, cfg.Bins)
+	for rd := 0; rd < rounds; rd++ {
+		for rk := 0; rk < ranks; rk++ {
+			for i := 0; i < cfg.Items; i++ {
+				ref[histValue(cfg.Seed, rk, rd, i)%uint64(cfg.Bins)]++
+			}
+		}
+	}
+	return ref
+}
+
+// RunHistogram executes the distributed histogram on the world
+// communicator: every rank streams its items, folding each into the owning
+// rank's bin with a remote AtomicAdd, and every round closes with a heap
+// barrier plus a bin-by-bin comparison against the serial reference.
+func RunHistogram(r *pure.Rank, cfg HistConfig) (HistResult, error) {
+	cfg.defaults()
+	c := r.World()
+	n, me := c.Size(), c.Rank()
+	perRank := (cfg.Bins + n - 1) / n
+	s := c.ShmemCreate(int64(perRank)*8+64, 0)
+	defer s.FreeHeap()
+	binsOff := s.Malloc(int64(perRank) * 8)
+	s.Barrier() // bins are zeroed symmetric memory before anyone increments
+
+	res := HistResult{Rounds: cfg.Rounds, Exact: true}
+	var issued int64
+	for rd := 0; rd < cfg.Rounds; rd++ {
+		for i := 0; i < cfg.Items; i++ {
+			b := int(histValue(cfg.Seed, me, rd, i) % uint64(cfg.Bins))
+			s.AtomicAdd(b%n, binsOff+int64(b/n)*8, 1)
+			issued++
+		}
+		s.Barrier() // every rank's round-rd adds are applied everywhere
+
+		// Verify this round's cumulative totals: each rank checks the bins
+		// it owns against the serial oracle, and an Allreduce publishes the
+		// global mismatch count.
+		ref := HistReference(cfg, n, rd+1)
+		var bad int64
+		for b := me; b < cfg.Bins; b += n {
+			if got := s.AtomicLoad(me, binsOff+int64(b/n)*8); got != ref[b] {
+				bad++
+			}
+		}
+		exact := c.AllreduceInt64(bad, pure.Sum) == 0
+		res.Exact = res.Exact && exact
+		if cfg.OnRound != nil {
+			cfg.OnRound(rd, exact)
+		}
+	}
+
+	// Checksum and totals, computed from the live distributed bins (not
+	// the oracle) so the numbers prove what the heap actually holds.
+	var sum, count int64
+	for b := me; b < cfg.Bins; b += n {
+		v := s.AtomicLoad(me, binsOff+int64(b/n)*8)
+		sum += v * int64(b+1)
+		count += v
+	}
+	res.Sum = c.AllreduceInt64(sum, pure.Sum)
+	res.Updates = c.AllreduceInt64(issued, pure.Sum)
+	if total := c.AllreduceInt64(count, pure.Sum); total != res.Updates {
+		return res, fmt.Errorf("shmemapp: histogram holds %d counts but %d increments were issued", total, res.Updates)
+	}
+	s.Barrier()
+	return res, nil
+}

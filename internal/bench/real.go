@@ -316,6 +316,7 @@ func All(quick bool) []Table {
 		AppCThreshold(quick),
 		AblationPBQSlots(quick),
 		RMAHalo(quick),
+		ShmemPGAS(quick),
 		StatsdPipeline(quick),
 	}
 }
@@ -340,6 +341,7 @@ func ByID(id string) func(bool) Table {
 		"appC":         AppCThreshold,
 		"ablation-pbq": AblationPBQSlots,
 		"rma":          RMAHalo,
+		"shmem":        ShmemPGAS,
 		"statsd":       StatsdPipeline,
 	}
 	return m[id]

@@ -42,12 +42,14 @@ const (
 	WaitRmaPSCW             // PSCW start/wait: waiting for a peer's post/complete flag
 	WaitRmaNotify           // NotifyWait: waiting for a window notification counter
 	WaitApp                 // Rank.WaitFor: waiting on an application-defined condition
+	WaitShmem               // mailbox Recv/Select: waiting for a published ring slot
 )
 
 var waitKindNames = [...]string{
 	"none", "p2p-recv", "p2p-send", "rendezvous-recv", "rendezvous-send",
 	"remote-recv", "remote-send-ack", "collective", "task",
 	"rma-remote", "rma-fence", "rma-pscw", "rma-notify", "app-wait",
+	"shmem-mailbox",
 }
 
 // String returns the kind's stable name (used in diagnostics and exports).

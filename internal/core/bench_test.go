@@ -329,6 +329,121 @@ func BenchmarkRMAPut(b *testing.B) {
 	}
 }
 
+// BenchmarkShmemPut measures the intra-node symmetric-heap put: bounds
+// check plus one direct copy into the co-resident target's region, with no
+// request object, window epoch, or queue slot on the path.  Must report
+// 0 allocs/op — scripts/verify.sh gates on it.
+func BenchmarkShmemPut(b *testing.B) {
+	for _, size := range []int{8, 1 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchProcs(b)
+			b.ReportAllocs()
+			err := Run(Config{NRanks: 2}, func(r *Rank) {
+				s := r.World().ShmemCreate(1<<16, 0)
+				off := s.Malloc(int64(size))
+				data := make([]byte, size)
+				s.Barrier()
+				if r.World().Rank() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						s.Put(1, off, data)
+					}
+					b.StopTimer()
+					b.SetBytes(int64(size))
+				}
+				s.Barrier()
+				s.FreeHeap()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkShmemAtomicAdd measures the intra-node remote atomic: one
+// hardware fetch-add on the peer's heap cell.  Must report 0 allocs/op —
+// scripts/verify.sh gates on it.
+func BenchmarkShmemAtomicAdd(b *testing.B) {
+	benchProcs(b)
+	b.ReportAllocs()
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		s := r.World().ShmemCreate(4096, 0)
+		off := s.Malloc(8)
+		s.Barrier()
+		if r.World().Rank() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.AtomicAdd(1, off, 1)
+			}
+			b.StopTimer()
+		}
+		s.Barrier()
+		s.FreeHeap()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShmemFetchAdd is the value-returning variant (the mailbox
+// ticket-claim primitive).
+func BenchmarkShmemFetchAdd(b *testing.B) {
+	benchProcs(b)
+	b.ReportAllocs()
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		s := r.World().ShmemCreate(4096, 0)
+		off := s.Malloc(8)
+		s.Barrier()
+		if r.World().Rank() == 0 {
+			var acc int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc += s.AtomicFetchAdd(1, off, 1)
+			}
+			b.StopTimer()
+			_ = acc
+		}
+		s.Barrier()
+		s.FreeHeap()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShmemMailboxPingPong bounces one message between two actor
+// mailboxes: ring claim/fill/publish one way, blocking Recv back.
+func BenchmarkShmemMailboxPingPong(b *testing.B) {
+	benchProcs(b)
+	b.ReportAllocs()
+	err := Run(Config{NRanks: 2}, func(r *Rank) {
+		s := r.World().ShmemCreate(4096, 0)
+		me := r.World().Rank()
+		mb0 := s.NewMailbox(0, 8, 8)
+		mb1 := s.NewMailbox(1, 8, 8)
+		msg := make([]byte, 8)
+		if me == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mb1.Send(msg)
+				mb0.Recv(msg)
+			}
+			b.StopTimer()
+		} else {
+			for i := 0; i < b.N; i++ {
+				mb1.Recv(msg)
+				mb0.Send(msg)
+			}
+		}
+		s.Barrier()
+		s.FreeHeap()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkPureTaskExecuteNoSteal(b *testing.B) {
 	benchProcs(b)
 	// Owner-only task dispatch cost (no thieves exist to steal).

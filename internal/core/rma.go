@@ -334,6 +334,8 @@ func (r *Rank) rmaApply(in *rmaInbox, buf []byte) {
 		// Cross-process PSCW: f.Origin completed access round f.Aux at
 		// f.Target (a rank in this process, polling in Wait).
 		w.Complete(int(f.Origin), int(f.Target), f.Aux)
+	case rma.FrameShmem:
+		r.shmemApply(in, w, &f)
 	default:
 		panic(fmt.Sprintf("core: rank %d: unexpected RMA frame kind %v", r.id, f.Kind))
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rma"
 	"repro/internal/sched"
+	"repro/internal/shmem"
 	"repro/internal/ssw"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -248,6 +249,10 @@ type Runtime struct {
 	// manager) and the remote RMA flows with their applied watermarks.
 	rmaReg   rma.Registry
 	rmaFlows sync.Map // chanKey -> *rmaFlow
+
+	// shmReg holds the symmetric heaps' shared publish tables, keyed by the
+	// backing window's key (one heap per ShmemCreate).
+	shmReg shmem.Registry
 
 	world *commShared
 

@@ -38,6 +38,13 @@ type RankStats struct {
 	RmaNotifies    int64
 	RmaBytesPut    int64 // bytes moved by Put and Accumulate posts
 
+	// PGAS (shmem) operations posted by this rank.
+	ShmemPuts    int64
+	ShmemGets    int64
+	ShmemAtomics int64
+	ShmemSends   int64 // mailbox messages sent
+	ShmemRecvs   int64 // mailbox messages consumed
+
 	// Tasks.
 	TasksExecuted int64
 	ChunksOwned   int64
@@ -71,6 +78,11 @@ func (s *RankStats) Add(o RankStats) {
 	s.RmaFences += o.RmaFences
 	s.RmaNotifies += o.RmaNotifies
 	s.RmaBytesPut += o.RmaBytesPut
+	s.ShmemPuts += o.ShmemPuts
+	s.ShmemGets += o.ShmemGets
+	s.ShmemAtomics += o.ShmemAtomics
+	s.ShmemSends += o.ShmemSends
+	s.ShmemRecvs += o.ShmemRecvs
 	s.TasksExecuted += o.TasksExecuted
 	s.ChunksOwned += o.ChunksOwned
 	s.ChunksStolen += o.ChunksStolen

@@ -67,6 +67,9 @@ func workerMain() {
 		tcfg.RetryBackoff = 2 * time.Millisecond
 		tcfg.RetryBudget = 1000
 	}
+	if os.Getenv("PURE_WORKLOAD") == "shmem-hist" {
+		shmemHistMain(tcfg) // exits
+	}
 	nodes := len(tcfg.Addrs)
 	nranks := envInt("PURE_NRANKS", nodes)
 	iters := envInt("PURE_ITERS", 100)

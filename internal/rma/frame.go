@@ -38,9 +38,14 @@ const (
 	// toward Target (round in Aux), the cross-process form of the complete
 	// flag matrix.
 	FrameComplete
+	// FrameShmem nests one encoded shmem.Op (the PGAS layer's addressed
+	// operation codec) in the payload; the header's window names the
+	// symmetric heap.  Fetching ops reply via FrameGetRep with the op's
+	// request id in Aux, reusing the get-reply plumbing unchanged.
+	FrameShmem
 )
 
-var frameKindNames = [...]string{"invalid", "put", "acc", "get-req", "get-rep", "notify", "post", "complete"}
+var frameKindNames = [...]string{"invalid", "put", "acc", "get-req", "get-rep", "notify", "post", "complete", "shmem"}
 
 // String returns the kind's stable name.
 func (k FrameKind) String() string {
@@ -99,7 +104,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 		N:       binary.LittleEndian.Uint64(b[33:]),
 		Payload: b[headerLen:],
 	}
-	if f.Kind < FramePut || f.Kind > FrameComplete {
+	if f.Kind < FramePut || f.Kind > FrameShmem {
 		return Frame{}, fmt.Errorf("rma: unknown frame kind %d", b[0])
 	}
 	return f, nil

@@ -22,6 +22,7 @@ func FuzzFrameDecode(f *testing.F) {
 		{Kind: FrameNotify, WinSeq: 4, Origin: 0, Target: 1, Aux: 5},
 		{Kind: FramePost, WinSeq: 5, Origin: 1, Target: 0, Aux: 3},
 		{Kind: FrameComplete, WinSeq: 5, Origin: 0, Target: 1, Aux: 3},
+		{Kind: FrameShmem, WinSeq: 6, Origin: 1, Target: 0, Payload: []byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
 	}
 	for i := range seeds {
 		f.Add(seeds[i].Encode())
@@ -37,7 +38,7 @@ func FuzzFrameDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if fr.Kind < FramePut || fr.Kind > FrameComplete {
+		if fr.Kind < FramePut || fr.Kind > FrameShmem {
 			t.Fatalf("decoder accepted out-of-range kind %d", fr.Kind)
 		}
 		// Round-trip: re-encoding an accepted frame must reproduce the

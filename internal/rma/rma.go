@@ -269,11 +269,16 @@ type Key struct {
 type Registry struct{ m sync.Map }
 
 // GetOrCreate returns the window for k, creating it with n members if it
-// does not exist yet.  Concurrent creators converge on one instance.
+// does not exist yet.  Two member ranks entering WinCreate at once race
+// from the fast-path Load to the LoadOrStore; the seams let the model
+// tests drive both orders and prove the racers converge on one *Window
+// (the loser's freshly built window is garbage, never visible).
 func (g *Registry) GetOrCreate(k Key, n int) *Window {
+	schedpoint("rma:reg:lookup")
 	if v, ok := g.m.Load(k); ok {
 		return v.(*Window)
 	}
+	schedpoint("rma:reg:create")
 	v, _ := g.m.LoadOrStore(k, NewWindow(n))
 	return v.(*Window)
 }

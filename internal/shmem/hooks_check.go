@@ -1,0 +1,22 @@
+//go:build purecheck
+
+package shmem
+
+// schedHook is the installed scheduling hook (nil outside checker runs).
+// It is written only while no hooked goroutines are running (the checker
+// installs it before spawning its cooperative threads and clears it after
+// they join), so the plain variable is race-free.
+var schedHook func(string)
+
+// schedpoint hands control to the deterministic checker at a named
+// synchronization point.  See hooks_prod.go for the production no-op.
+func schedpoint(label string) {
+	if h := schedHook; h != nil {
+		h(label)
+	}
+}
+
+// SetSchedHook installs (or, with nil, removes) the checker's scheduling
+// hook.  Only the internal/check model tests call this; it exists only under
+// the purecheck build tag.
+func SetSchedHook(h func(string)) { schedHook = h }

@@ -1,0 +1,10 @@
+//go:build !purecheck
+
+package shmem
+
+// schedpoint is the deterministic concurrency checker's scheduling seam: the
+// lock-free protocols call it at every synchronization point.  In normal
+// builds it is this empty function, which the compiler inlines away to
+// nothing; under the `purecheck` build tag it dispatches to an installable
+// hook that the internal/check harness uses to explore thread interleavings.
+func schedpoint(label string) {}

@@ -1,18 +1,16 @@
 #!/bin/sh
 # bench_json.sh — run the PR's headline microbenchmarks and emit their
-# ns/op AND allocs/op as machine-readable JSON (BENCH_pr8.json), so perf and
+# ns/op AND allocs/op as machine-readable JSON (BENCH_pr9.json), so perf and
 # allocation regressions in the hot loops are visible across commits.  This
-# PR adds the statsd serving pipeline (docs/STATSD.md): batched channel
-# sends vs the per-message baseline, and the end-to-end pipeline at four
-# load shapes — ns/op there is per *event*, so 1e9/ns-op is the events/sec
-# headline, and the zipf-steal vs zipf-nosteal pair is the skew-absorption
-# comparison (steal must be the faster of the two).
+# PR adds the PGAS layer (docs/SHMEM.md): intra-node symmetric-heap Put and
+# the remote atomics (the zero-allocation direct paths verify.sh gates on)
+# plus the actor-mailbox round trip.
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr8.json}
+out=${1:-BENCH_pr9.json}
 benchtime=${PURE_BENCHTIME:-1s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -49,6 +47,10 @@ go test -run XXX -bench 'BenchmarkTCPAllreduce8B$' -benchmem -benchtime "$bencht
 
 echo "== Channel batched vs unbatched sends, 25B records (internal/core)"
 go test -run XXX -bench 'BenchmarkChannelSendBatch$|BenchmarkChannelSendUnbatched$' \
+    -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== shmem intra-node Put / atomics / mailbox round trip (internal/core)"
+go test -run XXX -bench 'BenchmarkShmemPut$|BenchmarkShmemAtomicAdd$|BenchmarkShmemFetchAdd$|BenchmarkShmemMailboxPingPong$' \
     -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
 echo "== statsd steady-state parse + aggregation (internal/statsd)"

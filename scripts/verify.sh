@@ -19,7 +19,7 @@ go test ./...
 echo "== go test -race (concurrent core packages)"
 go test -race ./internal/queue ./internal/collective ./internal/obs ./internal/rma \
     ./internal/sched ./internal/netsim ./internal/ssw ./internal/core ./internal/transport \
-    ./internal/statsd
+    ./internal/statsd ./internal/shmem ./internal/apps/shmem
 
 echo "== deterministic schedule checker (short budget; full run: make check)"
 PURE_CHECK_SEEDS=64 go test -tags purecheck -count=1 ./internal/check
@@ -30,6 +30,7 @@ go test -count=1 -fuzz FuzzCodecRoundTrip -fuzztime 5s ./internal/codec
 go test -count=1 -fuzz FuzzFrameDecode -fuzztime 5s ./internal/transport
 go test -count=1 -fuzz FuzzControlDecode -fuzztime 5s ./internal/transport
 go test -count=1 -fuzz FuzzStatsdParse -fuzztime 5s ./internal/statsd
+go test -count=1 -fuzz FuzzShmemFrame -fuzztime 5s ./internal/shmem
 
 echo "== chaos suite (watchdog/abort/fault-injection under -race)"
 go test -race -count=1 \
@@ -104,6 +105,36 @@ bad="$(echo "$allocout" | awk '/^Benchmark/ {
 }')"
 if [ -n "$bad" ]; then
     echo "verify: FAIL — statsd steady-state benchmarks allocate:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "== shmem PGAS smoke (exactness-gated histogram/BFS/mailbox table; docs/SHMEM.md)"
+# Every row of the shmem table is exactness-gated: the last column is
+# "yes" only if the run's bit-exact comparison against the serial oracle
+# held (a lost remote AtomicAdd or reordered mailbox message flips it to
+# "NO"), so grepping for NO asserts histogram + BFS + mailbox exactness.
+shmemout="$(go run ./cmd/purebench -quick -exp shmem)"
+echo "$shmemout"
+case "$shmemout" in *" NO"*)
+    echo "verify: FAIL — shmem table has an inexact row" >&2; exit 1 ;;
+esac
+
+echo "== shmem model tests under -race (short budget; full run: make check)"
+PURE_CHECK_SEEDS=16 go test -race -tags purecheck -count=1 -run 'TestCheckShmem|TestCheckRMARegistry' ./internal/check
+
+echo "== shmem zero-allocation gate (intra-node Put/AtomicAdd hot paths)"
+# The PGAS claim rests on intra-node addressed ops being direct copies
+# and hardware atomics — allocation-free, machine-independently.
+allocout="$(go test -run XXX -bench 'BenchmarkShmemPut$|BenchmarkShmemAtomicAdd$' \
+    -benchmem -benchtime 5000x ./internal/core)"
+echo "$allocout" | grep '^Benchmark'
+bad="$(echo "$allocout" | awk '/^Benchmark/ {
+    for (i = 2; i < NF; i++)
+        if ($(i + 1) == "allocs/op" && $i + 0 != 0) print $1, $i, "allocs/op"
+}')"
+if [ -n "$bad" ]; then
+    echo "verify: FAIL — shmem intra-node benchmarks allocate:" >&2
     echo "$bad" >&2
     exit 1
 fi
