@@ -49,7 +49,7 @@ func main() {
 	traceOut := flag.String("trace", "", "run a traced stencil and write a Chrome trace to this file")
 	metricsOut := flag.String("metrics", "", "run a traced stencil and write a Prometheus metrics snapshot to this file")
 	traceBinOut := flag.String("trace-bin", "", "run a traced stencil and write a binary trace dump (for puretrace) to this file")
-	monitorAddr := flag.String("monitor", "", "serve the live runtime monitor on this address during the observed run (e.g. :8080)")
+	monitorAddr := flag.String("monitor", os.Getenv("PURE_MONITOR"), "serve the live runtime monitor on this address during the observed run (e.g. :8080; default $PURE_MONITOR)")
 	flag.Parse()
 
 	if *traceOut != "" || *metricsOut != "" || *traceBinOut != "" {

@@ -8,12 +8,23 @@
 //	purerun -addrs a:7001,b:7001 ./worker # explicit per-node addresses
 //	purerun -n 3 -kill 1:200ms ./worker   # chaos: SIGKILL node 1 after 200ms
 //	purerun -n 2 -timeout 30s ./worker    # kill the whole job after 30s
+//	purerun -n 2 -monitor :0 ./worker     # + aggregated cluster monitor
 //
 // purerun reserves one localhost port per node (unless -addrs overrides
 // them), spawns the worker command once per node with the transport
 // environment set — PURE_NODE, PURE_ADDRS, PURE_JOB, and optionally
 // PURE_NRANKS — prefixes every output line with "[node i]", and exits with
 // the first non-zero worker exit code (or 1 for a signal death).
+//
+// With -monitor, purerun also reserves one monitor port per node, hands it
+// to each worker as PURE_MONITOR (workers pass it to Config.MonitorAddr, so
+// every node serves its own /metrics, /ranks and /links), prints each
+// worker's monitor address, and serves the aggregated cluster view on the
+// -monitor address: /metrics merges every node's scrape under a node="<id>"
+// label, /cluster reports per-node liveness, rank wait states, and transport
+// link telemetry.  The aggregator keeps serving while nodes die — a
+// SIGKILLed node shows up as pure_cluster_node_up 0 and as a dying link
+// (heartbeat age climbing, then down) on its peers.
 //
 // The worker maps the environment onto its configuration with
 // pure.TransportFromEnv; the rank-to-node mapping comes from the worker's
@@ -28,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -35,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/cluster"
 	"repro/internal/transport"
 )
 
@@ -51,6 +64,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	job := fs.Uint64("job", 0, "job id isolating this run from stale processes (0 = derived from pid and time)")
 	kill := fs.String("kill", "", "chaos: 'node:delay' — SIGKILL that node's process after the delay (e.g. 1:200ms)")
 	timeout := fs.Duration("timeout", 0, "kill every worker after this long (0 = no timeout)")
+	monitor := fs.String("monitor", "", "serve the aggregated cluster monitor on this address (:0 picks a port) and give every worker a PURE_MONITOR address")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: purerun [flags] worker-command [args...]\n")
 		fs.PrintDefaults()
@@ -95,6 +109,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		jobID = uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())
 	}
 
+	// Cluster monitor: one reserved monitor port per worker (exported as
+	// PURE_MONITOR) plus the aggregator over all of them.  The addresses are
+	// printed before the workers launch so tooling can start scraping while
+	// the job runs.
+	var monAddrs []string
+	if *monitor != "" {
+		var err error
+		if monAddrs, err = reservePorts(nodes); err != nil {
+			fmt.Fprintf(stderr, "purerun: reserving monitor ports: %v\n", err)
+			return 1
+		}
+		nodeList := make([]cluster.Node, nodes)
+		for i, a := range monAddrs {
+			nodeList[i] = cluster.Node{Node: i, Addr: a}
+			fmt.Fprintf(stderr, "purerun: node %d monitor http://%s/\n", i, a)
+		}
+		ln, err := net.Listen("tcp", *monitor)
+		if err != nil {
+			fmt.Fprintf(stderr, "purerun: cluster monitor listen %s: %v\n", *monitor, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "purerun: cluster monitor http://%s/\n", ln.Addr())
+		srv := &http.Server{Handler: cluster.New(nodeList, 0).Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
 	cmds := make([]*exec.Cmd, nodes)
 	var outWG sync.WaitGroup
 	var outMu sync.Mutex // interleave whole lines, not bytes
@@ -107,6 +148,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		)
 		if *ranks > 0 {
 			cmd.Env = append(cmd.Env, "PURE_NRANKS="+strconv.Itoa(*ranks))
+		}
+		if monAddrs != nil {
+			cmd.Env = append(cmd.Env, transport.EnvMonitor+"="+monAddrs[i])
 		}
 		op, _ := cmd.StdoutPipe()
 		ep, _ := cmd.StderrPipe()

@@ -13,7 +13,9 @@
 //	purerun -n 2 ./purestatsd -events 100000    # ingest node + aggregate node over TCP
 //
 // Under purerun the PURE_NODE/PURE_ADDRS/PURE_JOB environment selects the
-// real transport; ranks are laid out SMP-style, so with the default 2+2
+// real transport, and `purerun -monitor` hands each node a PURE_MONITOR
+// address that -monitor defaults to, so every process of the job serves its
+// own live monitor without extra flags; ranks are laid out SMP-style, so with the default 2+2
 // split and two nodes the ingesters share node 0 and the aggregators node
 // 1.  Exit codes follow the launcher convention: 0 success (prints the
 // verified flush totals), 3 a peer node died (prints "NODEDEAD
@@ -47,7 +49,7 @@ func main() {
 	zipf := flag.Float64("zipf", 0, "zipf skew exponent for the generated keys (0 = uniform)")
 	tagsets := flag.Int("tagsets", 0, "distinct tagsets in the generated traffic (0 = default)")
 	pbq := flag.Int("pbq", 0, "PBQ slots per channel (0 = default; small values exercise backpressure)")
-	monitor := flag.String("monitor", "", "serve the live runtime monitor on this address (e.g. :8080)")
+	monitor := flag.String("monitor", os.Getenv("PURE_MONITOR"), "serve the live runtime monitor on this address (e.g. :8080; default $PURE_MONITOR)")
 	flag.Parse()
 
 	cfg := appstatsd.Config{

@@ -8,6 +8,7 @@
 //	puretrace top     [-n N] <trace.bin>
 //	puretrace skew    [-n N] <trace.bin>
 //	puretrace convert [-o out.json] <trace.bin>
+//	puretrace merge   [-o merged.bin] <node0.bin> <node1.bin> ...
 //
 // analyze prints the full report: message matching per protocol path with
 // latency histograms, unmatched operations, collective skew per round,
@@ -15,6 +16,18 @@
 // critical-path estimate.  top ranks communication pairs and PBQ stalls,
 // skew prints only the collective rounds, and convert rewrites the dump as
 // Chrome trace_event JSON for chrome://tracing or https://ui.perfetto.dev.
+//
+// merge combines the per-node dumps of one multi-process run into a single
+// clock-aligned trace: the transport's heartbeat clock samples estimate each
+// node's offset from a reference node, every timestamp is rebased onto the
+// reference clock, and the output is a normal trace.bin — analyze then
+// matches cross-node sends to their receives (and transport frames on both
+// sides of each link) exactly like local ones, and convert renders one
+// process group per node.
+//
+// Dumps recorded by a multi-process node carry the node's identity, so
+// analyze on a single per-node dump classifies traffic to ranks on other
+// nodes as cross-node rather than unmatched.
 package main
 
 import (
@@ -29,7 +42,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: puretrace <analyze|top|skew|convert> [flags] <trace.bin>")
+	fmt.Fprintln(os.Stderr, "usage: puretrace <analyze|top|skew|convert|merge> [flags] <trace.bin>...")
 	os.Exit(2)
 }
 
@@ -48,6 +61,8 @@ func main() {
 		err = cmdSkew(args)
 	case "convert":
 		err = cmdConvert(args)
+	case "merge":
+		err = cmdMerge(args)
 	default:
 		usage()
 	}
@@ -57,22 +72,48 @@ func main() {
 	}
 }
 
+// readDump opens and parses one trace file.
+func readDump(path string) (*obs.TraceDump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadTraceBin(f)
+}
+
+// optsFromMeta derives analyzer options from the dump's metadata: the rank
+// placement (when recorded) keys collective grouping and cross-node
+// classification, a recorded node identity marks the dump as one node's
+// partial view, and link events feed the link-flow report.
+func optsFromMeta(d *obs.TraceDump, maxUnmatched int) analyze.Options {
+	opt := analyze.Options{MaxUnmatched: maxUnmatched, Links: d.Meta.Links}
+	if place := d.Meta.NodeOfRank; len(place) > 0 {
+		opt.NodeOf = func(r int32) int {
+			if int(r) < len(place) {
+				return int(place[r])
+			}
+			return 0
+		}
+	}
+	if d.Meta.Node >= 0 {
+		opt.Partial = true
+		opt.Node = d.Meta.Node
+	}
+	return opt
+}
+
 // load reads the dump named by the flag set's positional argument and runs
 // the analyzer over it.
 func load(fs *flag.FlagSet, maxUnmatched int) (*analyze.Analysis, *obs.TraceDump, error) {
 	if fs.NArg() != 1 {
 		return nil, nil, fmt.Errorf("want exactly one trace file, got %d args", fs.NArg())
 	}
-	f, err := os.Open(fs.Arg(0))
+	d, err := readDump(fs.Arg(0))
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
-	d, err := obs.ReadTraceBin(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	a := analyze.Run(d.Events, d.NRanks, analyze.Options{MaxUnmatched: maxUnmatched})
+	a := analyze.Run(d.Events, d.NRanks, optsFromMeta(d, maxUnmatched))
 	a.Dropped = d.Dropped
 	return a, d, nil
 }
@@ -168,12 +209,7 @@ func cmdConvert(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one trace file, got %d args", fs.NArg())
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	d, err := obs.ReadTraceBin(f)
+	d, err := readDump(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -185,7 +221,68 @@ func cmdConvert(args []string) error {
 		}
 		defer w.Close()
 	}
-	// Node placement is not recorded in the dump; render all ranks as one
-	// process.
-	return obs.WriteChromeTrace(w, d.Events, func(int32) int { return 0 })
+	// Dumps that record placement render one process group per node; older
+	// dumps fall back to a single process.
+	nodeOf := func(int32) int { return 0 }
+	if place := d.Meta.NodeOfRank; len(place) > 0 {
+		nodeOf = func(r int32) int {
+			if int(r) < len(place) {
+				return int(place[r])
+			}
+			return 0
+		}
+	}
+	return obs.WriteChromeTrace(w, d.Events, nodeOf)
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "merged.bin", "output file for the merged trace")
+	asJSON := fs.Bool("json", false, "emit the alignment summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("want at least one per-node trace file")
+	}
+	dumps := make([]*obs.TraceDump, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		d, err := readDump(path)
+		if err != nil {
+			return err
+		}
+		dumps = append(dumps, d)
+	}
+	merged, info, err := analyze.Merge(dumps)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceBinMeta(f, merged.Events, merged.NRanks, merged.Dropped, &merged.Meta); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(info)
+	}
+	fmt.Printf("merged %d node dumps -> %s (%d events, %d link events, reference node %d)\n",
+		len(dumps), *out, len(merged.Events), len(merged.Meta.Links), info.Ref)
+	for _, na := range info.Nodes {
+		switch {
+		case na.Node == info.Ref:
+			fmt.Printf("  node %d: reference clock\n", na.Node)
+		case !na.Aligned:
+			fmt.Printf("  node %d: NO CLOCK PATH to reference; timestamps passed through unaligned\n", na.Node)
+		default:
+			fmt.Printf("  node %d: offset %v via node %d (path delay %v, %d samples)\n",
+				na.Node, time.Duration(na.OffsetNs), na.Via, time.Duration(na.DelayNs), na.Samples)
+		}
+	}
+	return nil
 }

@@ -7,15 +7,21 @@
 //	go build -o /tmp/worker ./examples/purerun
 //	go run ./cmd/purerun -n 2 -ranks 4 /tmp/worker
 //
-// Environment knobs (beyond the launcher's PURE_NODE/PURE_ADDRS/PURE_JOB):
+// Environment knobs (beyond the launcher's PURE_NODE/PURE_ADDRS/PURE_JOB,
+// and PURE_MONITOR, which purerun -monitor sets to this node's live-monitor
+// listen address):
 //
-//	PURE_NRANKS   total ranks (default 4; must divide evenly over nodes)
-//	PURE_ITERS    Allreduce iterations (default 50)
-//	PURE_HB_MS    transport heartbeat interval in ms (chaos tuning)
-//	PURE_DEAD_MS  transport peer-death silence threshold in ms
-//	PURE_HANG_MS  watchdog hang timeout in ms (default 30000)
-//	PURE_DROP     transport fault plan: drop probability in [0,1]
-//	PURE_DELAY_MS transport fault plan: max injected delay in ms (p=0.1)
+//	PURE_NRANKS    total ranks (default 4; must divide evenly over nodes)
+//	PURE_ITERS     Allreduce iterations (default 50)
+//	PURE_HB_MS     transport heartbeat interval in ms (chaos tuning)
+//	PURE_DEAD_MS   transport peer-death silence threshold in ms
+//	PURE_HANG_MS   watchdog hang timeout in ms (default 30000)
+//	PURE_DROP      transport fault plan: drop probability in [0,1]
+//	PURE_DELAY_MS  transport fault plan: max injected delay in ms (p=0.1)
+//	PURE_TRACE_BIN write this node's binary trace dump here after the run; a
+//	               "%d" in the path becomes the node id (else multi-node runs
+//	               append ".node<id>").  Feed the per-node dumps to
+//	               `puretrace merge` for the cluster-wide timeline.
 //
 // Exit codes: 0 success, 3 a peer node died (the structured *RunError named
 // it), 1 anything else.  The node-death path prints one machine-readable
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/pure"
@@ -86,8 +93,18 @@ func main() {
 		Spec:        pure.Spec{Nodes: nodes, SocketsPerNode: 1, CoresPerSocket: perNode, ThreadsPerCore: 1},
 		Transport:   tcfg,
 		HangTimeout: time.Duration(envInt("PURE_HANG_MS", 30000)) * time.Millisecond,
+		MonitorAddr: os.Getenv("PURE_MONITOR"),
 	}
-	err = pure.Run(cfg, func(r *pure.Rank) {
+	traceBin := os.Getenv("PURE_TRACE_BIN")
+	if traceBin != "" {
+		cfg.Trace = pure.NewTrace(nranks, 0)
+		if strings.Contains(traceBin, "%d") {
+			traceBin = fmt.Sprintf(traceBin, envInt("PURE_NODE", 0))
+		} else if nodes > 1 {
+			traceBin = fmt.Sprintf("%s.node%d", traceBin, envInt("PURE_NODE", 0))
+		}
+	}
+	rep, err := pure.RunWithReport(cfg, func(r *pure.Rank) {
 		w := r.World()
 		me, n := r.ID(), r.NRanks()
 		in, out := make([]byte, 8), make([]byte, 8)
@@ -124,5 +141,19 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
+	}
+	if traceBin != "" {
+		f, err := os.Create(traceBin)
+		if err == nil {
+			err = rep.WriteTraceBin(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker: writing trace %s: %v\n", traceBin, err)
+			os.Exit(1)
+		}
+		fmt.Printf("TRACE %s\n", traceBin)
 	}
 }

@@ -31,6 +31,10 @@ func (rt *Runtime) startMonitor() error {
 		return err
 	}
 	mon := obs.NewMonitor(rt.cfg.Metrics, rt.RankStates)
+	mon.SetLinks(rt.LinkStates)
+	if rt.linkMet != nil {
+		mon.SetOnScrape(rt.linkMet.sync)
+	}
 	ms := &monitorServer{
 		ln:   ln,
 		srv:  &http.Server{Handler: mon.Handler()},

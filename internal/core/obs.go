@@ -192,6 +192,11 @@ func (rt *Runtime) harvestObs(ranks []*Rank) {
 		m.reg.Counter("pure_tp_send_busy_total").Add(agg.SendBusy)
 		m.reg.Counter("pure_tp_dead_peers_total").Add(dead)
 	}
+	if rt.linkMet != nil {
+		// Final sync of the per-peer labeled mirror, so offline metric dumps
+		// (no scrape ever happened) still carry the link telemetry.
+		rt.linkMet.sync()
+	}
 }
 
 // attachObs hooks a freshly built rank into the runtime's observability

@@ -259,6 +259,9 @@ type Runtime struct {
 	// met holds the pre-resolved metric handles when cfg.Metrics is set
 	// (nil otherwise — the disabled state every hot path nil-checks).
 	met *metricSet
+	// linkMet mirrors the transport's per-link counters into per-peer
+	// labeled series (nil without both a transport and a registry).
+	linkMet *linkMetrics
 
 	// waitSlots is the wait registry: one slot per rank, scanned by the
 	// watchdog and harvested into RunError diagnostics on abort.
@@ -371,6 +374,13 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 		return fmt.Errorf("core: placing ranks: %w", err)
 	}
 	rt := &Runtime{cfg: rcfg, place: place, net: netsim.New(rcfg.Net)}
+	if rcfg.Metrics == nil && rcfg.MonitorAddr != "" {
+		// A monitored run without an explicit registry still wants /metrics
+		// to carry the runtime counters (the cluster monitor scrapes them),
+		// so give it a private one.
+		rcfg.Metrics = obs.NewMetrics()
+		rt.cfg.Metrics = rcfg.Metrics
+	}
 	if rcfg.Metrics != nil {
 		rt.met = newMetricSet(rcfg.Metrics)
 	}
@@ -404,7 +414,13 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 	// With a real transport, this process runs only its own node's ranks.
 	localRank := func(int) bool { return true }
 	if rcfg.Transport != nil {
-		tp, err := transport.New(*rcfg.Transport, nil, rcfg.NRanks, transport.Handlers{
+		tcfg := *rcfg.Transport
+		if rcfg.Trace != nil && tcfg.LinkEvents == 0 {
+			// Rank tracing is on: record transport frame events too, so the
+			// dump carries what `puretrace merge` matches across nodes.
+			tcfg.LinkEvents = 1 << 14
+		}
+		tp, err := transport.New(tcfg, nil, rcfg.NRanks, transport.Handlers{
 			Deliver:  rt.tpDeliver,
 			Applied:  rt.tpApplied,
 			PeerDead: rt.tpPeerDead,
@@ -421,6 +437,9 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 			rt.tpFinished.Store(true)
 			tp.Close()
 		}()
+		if rt.met != nil {
+			rt.linkMet = newLinkMetrics(tp, rt.met.reg)
+		}
 		myNode := tp.Node()
 		localRank = func(id int) bool { return place.NodeOf(id) == myNode }
 	}
@@ -536,6 +555,23 @@ func runInternal(cfg Config, main func(r *Rank), harvest func([]*Rank)) error {
 	}
 	close(stopWatch)
 	watchWG.Wait()
+	// Attach recording-time context to the trace before anything dumps it:
+	// node identity, rank placement, and — under a real transport — the
+	// clock-offset samples and link events cross-node merging needs.
+	if rcfg.Trace != nil {
+		nodeOf := make([]int32, rcfg.NRanks)
+		for id := 0; id < rcfg.NRanks; id++ {
+			nodeOf[id] = int32(place.NodeOf(id))
+		}
+		meta := obs.TraceMeta{Node: -1, Nodes: rcfg.Spec.Nodes, NodeOfRank: nodeOf}
+		if rt.tp != nil {
+			meta.Node = rt.tp.Node()
+			meta.Nodes = rt.tp.Nodes()
+			meta.Clock = rt.tp.ClockSamples()
+			meta.Links = rt.tp.LinkEvents()
+		}
+		rcfg.Trace.SetMeta(meta)
+	}
 	rt.harvestObs(ranks)
 	if harvest != nil {
 		harvest(ranks)

@@ -425,6 +425,37 @@ func BenchmarkTCPPingPong8B(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPPingPong8BMonitored is the same cross-node exchange with each
+// node's live monitor enabled (as under `purerun -monitor`): every frame
+// additionally ticks the transport's per-peer link counters and the node
+// serves /metrics, /ranks and /links.  The delta against
+// BenchmarkTCPPingPong8B is the link-telemetry overhead, which must stay
+// under 5% — the counters are lock-free atomics off the syscall path, and
+// the labeled-series mirror only syncs on scrape.
+func BenchmarkTCPPingPong8BMonitored(b *testing.B) {
+	n := b.N
+	errs := tcpWorld(b, 2, 1, func(node int, cfg *Config) {
+		cfg.MonitorAddr = "127.0.0.1:0"
+	}, func(r *Rank) {
+		w := r.World()
+		buf := make([]byte, 8)
+		for i := 0; i < n; i++ {
+			if r.ID() == 0 {
+				w.Send(buf, 1, 5)
+				w.Recv(buf, 1, 5)
+			} else {
+				w.Recv(buf, 0, 5)
+				w.Send(buf, 0, 5)
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTCPAllreduce8B(b *testing.B) {
 	n := b.N
 	errs := tcpWorld(b, 2, 2, nil, func(r *Rank) {

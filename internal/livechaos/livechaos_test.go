@@ -78,6 +78,7 @@ func workerMain() {
 		Spec:        pure.Spec{Nodes: nodes, SocketsPerNode: 1, CoresPerSocket: nranks / nodes, ThreadsPerCore: 1},
 		Transport:   tcfg,
 		HangTimeout: time.Duration(envInt("PURE_HANG_MS", 20000)) * time.Millisecond,
+		MonitorAddr: os.Getenv("PURE_MONITOR"),
 	}
 	err = pure.Run(cfg, func(r *pure.Rank) {
 		w := r.World()
@@ -127,7 +128,9 @@ func (p *proc) stdout() string {
 }
 
 // launchWorld starts one worker process per node and returns the handles.
-func launchWorld(t *testing.T, nodes int, extraEnv []string) []*proc {
+// Optional perNode funcs contribute extra environment entries for each node
+// (e.g. a distinct PURE_MONITOR address per process).
+func launchWorld(t *testing.T, nodes int, extraEnv []string, perNode ...func(node int) []string) []*proc {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
@@ -153,6 +156,9 @@ func launchWorld(t *testing.T, nodes int, extraEnv []string) []*proc {
 			"PURE_JOB="+strconv.FormatUint(job, 10),
 		)
 		cmd.Env = append(cmd.Env, extraEnv...)
+		for _, f := range perNode {
+			cmd.Env = append(cmd.Env, f(i)...)
+		}
 		cmd.Stderr = os.Stderr
 		op, err := cmd.StdoutPipe()
 		if err != nil {

@@ -40,6 +40,20 @@ type Options struct {
 	// MaxUnmatched caps the individually listed unmatched operations
 	// (totals are always exact); 0 means 64.
 	MaxUnmatched int
+	// Partial marks a per-node dump from a multi-process run: the trace holds
+	// only the ranks of node Node, so a remote-path operation whose peer rank
+	// lives on another node (per NodeOf) can never find its counterpart here.
+	// Those are classified as cross-node traffic (PathStats.CrossSends /
+	// CrossRecvs) instead of being reported unmatched.  After `puretrace
+	// merge` rejoins the per-node dumps, Partial is off again and cross-node
+	// messages match normally.
+	Partial bool
+	// Node is the recording node of a Partial dump.
+	Node int
+	// Links carries the transport-level frame events (TraceMeta.Links); when
+	// present the analysis adds per-direction link flows, matching send and
+	// receive frames on sequence number across nodes.
+	Links []obs.LinkEvent
 }
 
 // Hist is a fixed-bound latency histogram plus exact min/max/sum, the same
@@ -109,14 +123,20 @@ func (h *Hist) Quantile(q float64) int64 {
 
 // PathStats aggregates message matching over one protocol path.
 type PathStats struct {
-	Path           Path  `json:"path"`
-	Sends          int   `json:"sends"`
-	Recvs          int   `json:"recvs"`
-	Matched        int   `json:"matched"`
-	UnmatchedSends int   `json:"unmatched_sends"`
-	UnmatchedRecvs int   `json:"unmatched_recvs"`
-	Bytes          int64 `json:"bytes"` // matched payload bytes
-	Latency        *Hist `json:"latency"`
+	Path           Path `json:"path"`
+	Sends          int  `json:"sends"`
+	Recvs          int  `json:"recvs"`
+	Matched        int  `json:"matched"`
+	UnmatchedSends int  `json:"unmatched_sends"`
+	UnmatchedRecvs int  `json:"unmatched_recvs"`
+	// CrossSends / CrossRecvs count operations whose peer rank lives on a
+	// different node than the recorder of a partial (per-node) dump: the
+	// counterpart event is in some other node's dump, so they are cross-node
+	// traffic, not evidence of a hang.  Always 0 unless Options.Partial.
+	CrossSends int   `json:"cross_sends,omitempty"`
+	CrossRecvs int   `json:"cross_recvs,omitempty"`
+	Bytes      int64 `json:"bytes"` // matched payload bytes
+	Latency    *Hist `json:"latency"`
 	// QueueWaitNs / TransferNs decompose the rendezvous path using the
 	// sender's handoff timestamps: send post -> handoff start (waiting for
 	// the receiver's envelope) and handoff -> receive completion (the copy
@@ -260,14 +280,37 @@ type Analysis struct {
 	PBQ         []StallPair     `json:"pbq"` // descending by TotalNs
 	Ranks       []RankBreakdown `json:"ranks"`
 	Critical    CriticalPath    `json:"critical_path"`
+
+	// Links holds the per-direction transport link flows when the trace
+	// carried frame events (Options.Links); nil otherwise.
+	Links []*LinkFlow `json:"links,omitempty"`
 }
 
-// MatchRate returns the fraction of sends that found their receive, 1 when
-// the trace holds no sends.
+// LinkFlow aggregates one direction of inter-node frame traffic
+// (Src node -> Dst node) from the transport's link events.  Send frames are
+// recorded by the sender, receive frames by the receiver; after `puretrace
+// merge` aligns the node clocks, a frame's send and receive events pair up on
+// the link sequence number and Latency holds the one-way frame latency in the
+// merged clock domain.  In a single-node dump only one side of each direction
+// is present, so Matched stays 0.
+type LinkFlow struct {
+	Src         int   `json:"src"` // sending node
+	Dst         int   `json:"dst"` // receiving node
+	Sends       int   `json:"sends"`
+	Recvs       int   `json:"recvs"`
+	Matched     int   `json:"matched"` // frames seen on both sides (seq match)
+	Retransmits int   `json:"retransmits"`
+	Bytes       int64 `json:"bytes"` // payload bytes of send frames
+	Latency     *Hist `json:"latency"`
+}
+
+// MatchRate returns the fraction of locally matchable sends that found their
+// receive, 1 when the trace holds no such sends.  Cross-node sends in a
+// partial dump are excluded: their receives live in another node's dump.
 func (a *Analysis) MatchRate() float64 {
 	sends := 0
 	for _, p := range a.Paths {
-		sends += p.Sends
+		sends += p.Sends - p.CrossSends
 	}
 	if sends == 0 {
 		return 1
@@ -345,6 +388,7 @@ func Run(events []obs.Event, nranks int, opt Options) *Analysis {
 	}
 
 	a.matchMessages(evs, opt)
+	a.linkFlows(opt.Links)
 	a.collectiveSkew(evs, nranks, nodeOf)
 	a.backpressure(evs)
 	a.breakdown(evs, perRank)
@@ -381,11 +425,27 @@ func (a *Analysis) matchMessages(evs []obs.Event, opt Options) {
 	sendQ := map[pairKey][]int{}    // pending send event indices, FIFO
 	handoffQ := map[pairKey][]int{} // pending rendezvous handoffs, FIFO
 
+	// In a partial (per-node) dump, an operation whose peer rank lives on
+	// another node can never match locally — its counterpart is in that
+	// node's dump.  Classify it as cross-node instead of unmatched.
+	nodeOf := opt.NodeOf
+	if nodeOf == nil {
+		nodeOf = func(int32) int { return 0 }
+	}
+	cross := func(peer int32) bool {
+		return opt.Partial && peer >= 0 && nodeOf(peer) != opt.Node
+	}
+
 	for i, e := range evs {
 		if p := sendPath(e.Kind); p != "" {
+			ps := pathFor(p)
+			ps.Sends++
+			if cross(e.Peer) {
+				ps.CrossSends++
+				continue
+			}
 			k := pairKey{src: e.Rank, dst: e.Peer, path: p}
 			sendQ[k] = append(sendQ[k], i)
-			pathFor(p).Sends++
 			continue
 		}
 		if e.Kind == obs.KRendezvousHandoff {
@@ -399,6 +459,10 @@ func (a *Analysis) matchMessages(evs []obs.Event, opt Options) {
 		}
 		ps := pathFor(p)
 		ps.Recvs++
+		if cross(e.Peer) {
+			ps.CrossRecvs++
+			continue
+		}
 		k := pairKey{src: e.Peer, dst: e.Rank, path: p}
 		q := sendQ[k]
 		if len(q) == 0 {
@@ -477,6 +541,65 @@ func (a *Analysis) matchMessages(evs []obs.Event, opt Options) {
 			return a.Pairs[x].Src < a.Pairs[y].Src
 		}
 		return a.Pairs[x].Dst < a.Pairs[y].Dst
+	})
+}
+
+// linkFlows aggregates transport frame events into per-direction flows and
+// pairs send frames with their receive on (src, dst, seq).  Link sequence
+// numbers are per-direction and never reused (reconnects replay the same
+// seqs, but the receiver accepts each in-order seq exactly once and only
+// accepted frames emit a LinkRecv event), so seq matching is exact.
+func (a *Analysis) linkFlows(links []obs.LinkEvent) {
+	if len(links) == 0 {
+		return
+	}
+	type dirKey struct{ src, dst int32 }
+	type seqKey struct {
+		src, dst int32
+		seq      uint64
+	}
+	flows := map[dirKey]*LinkFlow{}
+	flowFor := func(k dirKey) *LinkFlow {
+		f, ok := flows[k]
+		if !ok {
+			f = &LinkFlow{Src: int(k.src), Dst: int(k.dst), Latency: newHist()}
+			flows[k] = f
+		}
+		return f
+	}
+	sent := map[seqKey]int64{} // send timestamp by frame identity
+	for _, ev := range links {
+		switch ev.Kind {
+		case obs.LinkSend:
+			k := dirKey{src: ev.Node, dst: ev.Peer}
+			f := flowFor(k)
+			f.Sends++
+			f.Bytes += int64(ev.Bytes)
+			sent[seqKey{src: ev.Node, dst: ev.Peer, seq: ev.Seq}] = ev.TS
+		case obs.LinkRecv:
+			k := dirKey{src: ev.Peer, dst: ev.Node}
+			f := flowFor(k)
+			f.Recvs++
+			if sts, ok := sent[seqKey{src: ev.Peer, dst: ev.Node, seq: ev.Seq}]; ok {
+				f.Matched++
+				lat := ev.TS - sts
+				if lat < 0 {
+					lat = 0
+				}
+				f.Latency.observe(lat)
+			}
+		case obs.LinkRetransmit:
+			flowFor(dirKey{src: ev.Node, dst: ev.Peer}).Retransmits++
+		}
+	}
+	for _, f := range flows {
+		a.Links = append(a.Links, f)
+	}
+	sort.Slice(a.Links, func(x, y int) bool {
+		if a.Links[x].Src != a.Links[y].Src {
+			return a.Links[x].Src < a.Links[y].Src
+		}
+		return a.Links[x].Dst < a.Links[y].Dst
 	})
 }
 

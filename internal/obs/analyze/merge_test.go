@@ -1,0 +1,190 @@
+package analyze
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// twoNodeDumps builds per-node dumps for a 4-rank run (ranks 0,1 on node 0;
+// ranks 2,3 on node 1) where node 1's clock leads node 0's by skew ns.  One
+// remote message goes rank 0 -> rank 2 (sent at trueSend, received at
+// trueRecv, both in node 0's = the true clock), with matching transport
+// frame events, plus one purely local eager pair on node 0.
+func twoNodeDumps(skew, trueSend, trueRecv int64) (*obs.TraceDump, *obs.TraceDump) {
+	const s0 = int64(1_000_000_000_000) // node 0 trace start, node-0 clock
+	start1 := s0 + 500_000 + skew       // node 1 started 500µs later, its own clock
+	place := []int32{0, 0, 1, 1}
+
+	d0 := &obs.TraceDump{
+		NRanks: 4,
+		Meta: obs.TraceMeta{
+			Node: 0, Nodes: 2, StartUnixNano: s0, NodeOfRank: place,
+			Clock: []obs.ClockSample{
+				// Noisy high-delay estimate, then the clean low-delay one the
+				// min-delay filter must prefer.
+				{Peer: 1, LocalUnixNano: s0 + 1000, OffsetNs: skew + 40_000, DelayNs: 300_000},
+				{Peer: 1, LocalUnixNano: s0 + 2000, OffsetNs: skew, DelayNs: 60_000},
+			},
+			Links: []obs.LinkEvent{
+				// Link event timestamps are absolute wall-clock nanos in the
+				// recorder's domain (rank events are trace-relative).
+				{TS: trueSend, Kind: obs.LinkSend, Node: 0, Peer: 1, Seq: 7, Bytes: 64},
+			},
+		},
+		Events: []obs.Event{
+			{TS: trueSend - s0, Arg: 64, Rank: 0, Peer: 2, Kind: obs.KSendRemote},
+			{TS: 10_000, Arg: 8, Rank: 0, Peer: 1, Kind: obs.KSendEager},
+			{TS: 20_000, Arg: 8, Rank: 1, Peer: 0, Kind: obs.KRecvEager},
+		},
+	}
+	d1 := &obs.TraceDump{
+		NRanks: 4,
+		Meta: obs.TraceMeta{
+			Node: 1, Nodes: 2, StartUnixNano: start1, NodeOfRank: place,
+			Clock: []obs.ClockSample{
+				// The reverse-direction estimate, worse delay: must lose.
+				{Peer: 0, LocalUnixNano: start1 + 1000, OffsetNs: -skew - 90_000, DelayNs: 900_000},
+			},
+			Links: []obs.LinkEvent{
+				{TS: trueRecv + skew, Kind: obs.LinkRecv, Node: 1, Peer: 0, Seq: 7, Bytes: 64},
+			},
+		},
+		Events: []obs.Event{
+			{TS: trueRecv + skew - start1, Arg: 64, Rank: 2, Peer: 0, Kind: obs.KRecvRemote},
+		},
+	}
+	return d0, d1
+}
+
+func TestMergeAlignsKnownSkew(t *testing.T) {
+	const skew = 7_000_000 // node 1's clock leads by 7ms
+	const s0 = int64(1_000_000_000_000)
+	trueSend, trueRecv := s0+600_000, s0+1_200_000 // 600µs in flight
+	d0, d1 := twoNodeDumps(skew, trueSend, trueRecv)
+
+	merged, info, err := Merge([]*obs.TraceDump{d1, d0}) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ref != 0 {
+		t.Fatalf("reference node = %d, want 0", info.Ref)
+	}
+	var n1 *NodeAlign
+	for i := range info.Nodes {
+		if info.Nodes[i].Node == 1 {
+			n1 = &info.Nodes[i]
+		}
+	}
+	if n1 == nil || !n1.Aligned {
+		t.Fatalf("node 1 not aligned: %+v", info.Nodes)
+	}
+	if n1.OffsetNs != skew {
+		t.Fatalf("node 1 offset = %d, want %d (the min-delay sample)", n1.OffsetNs, skew)
+	}
+	if merged.Meta.Node != -1 || merged.NRanks != 4 || len(merged.Events) != 4 {
+		t.Fatalf("merged shape: node=%d nranks=%d events=%d", merged.Meta.Node, merged.NRanks, len(merged.Events))
+	}
+
+	// With the skew removed, the analyzer matches the cross-node pair with
+	// the true in-flight latency.
+	a := Run(merged.Events, merged.NRanks, Options{
+		NodeOf: func(r int32) int { return int(merged.Meta.NodeOfRank[r]) },
+		Links:  merged.Meta.Links,
+	})
+	var remote *PathStats
+	for _, ps := range a.Paths {
+		if ps.Path == PathRemote {
+			remote = ps
+		}
+	}
+	if remote == nil || remote.Matched != 1 {
+		t.Fatalf("remote path not matched after merge: %+v", remote)
+	}
+	if got := remote.Latency.Max; got != trueRecv-trueSend {
+		t.Fatalf("cross-node latency = %d, want %d", got, trueRecv-trueSend)
+	}
+	if a.TotalUnmatched != 0 {
+		t.Fatalf("unmatched after merge: %d", a.TotalUnmatched)
+	}
+	// The transport frames pair up on seq in the merged clock domain too.
+	if len(a.Links) != 1 || a.Links[0].Matched != 1 {
+		t.Fatalf("link flows = %+v, want one 0->1 flow with Matched=1", a.Links)
+	}
+	if f := a.Links[0]; f.Src != 0 || f.Dst != 1 || f.Latency.Max != trueRecv-trueSend {
+		t.Fatalf("link flow %+v, want 0->1 one-way %d", f, trueRecv-trueSend)
+	}
+}
+
+func TestMergeRoundTripsThroughTraceBin(t *testing.T) {
+	d0, d1 := twoNodeDumps(-2_500_000, 1_000_000_000_600_000, 1_000_000_001_100_000)
+	merged, _, err := Merge([]*obs.TraceDump{d0, d1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTraceBinMeta(&buf, merged.Events, merged.NRanks, merged.Dropped, &merged.Meta); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadTraceBin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NRanks != merged.NRanks || len(back.Events) != len(merged.Events) {
+		t.Fatalf("round trip shape: %d ranks %d events, want %d/%d",
+			back.NRanks, len(back.Events), merged.NRanks, len(merged.Events))
+	}
+	if len(back.Meta.Links) != len(merged.Meta.Links) || len(back.Meta.NodeOfRank) != 4 {
+		t.Fatalf("round trip meta: %+v", back.Meta)
+	}
+	for i := range merged.Events {
+		if back.Events[i] != merged.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back.Events[i], merged.Events[i])
+		}
+	}
+	for i := range merged.Meta.Links {
+		if back.Meta.Links[i] != merged.Meta.Links[i] {
+			t.Fatalf("link %d: %+v != %+v", i, back.Meta.Links[i], merged.Meta.Links[i])
+		}
+	}
+}
+
+func TestMergeRejectsBadInputs(t *testing.T) {
+	if _, _, err := Merge(nil); err == nil {
+		t.Fatal("merged zero dumps")
+	}
+	d0, d1 := twoNodeDumps(0, 1_000_000_000_100_000, 1_000_000_000_200_000)
+	d1.Meta.Node = 0
+	if _, _, err := Merge([]*obs.TraceDump{d0, d1}); err == nil {
+		t.Fatal("merged two dumps claiming the same node")
+	}
+	d1.Meta.Node = -1
+	if _, _, err := Merge([]*obs.TraceDump{d0, d1}); err == nil {
+		t.Fatal("merged a dump with no node identity")
+	}
+}
+
+func TestPartialDumpClassifiesCrossNode(t *testing.T) {
+	d0, _ := twoNodeDumps(0, 1_000_000_000_100_000, 1_000_000_000_200_000)
+	a := Run(d0.Events, d0.NRanks, Options{
+		NodeOf:  func(r int32) int { return int(d0.Meta.NodeOfRank[r]) },
+		Partial: true,
+		Node:    0,
+	})
+	var remote *PathStats
+	for _, ps := range a.Paths {
+		if ps.Path == PathRemote {
+			remote = ps
+		}
+	}
+	if remote == nil || remote.CrossSends != 1 {
+		t.Fatalf("remote path = %+v, want CrossSends=1", remote)
+	}
+	if a.TotalUnmatched != 0 {
+		t.Fatalf("partial dump reported %d unmatched; cross-node ops must not count", a.TotalUnmatched)
+	}
+	if got := a.MatchRate(); got != 1 {
+		t.Fatalf("MatchRate() = %v, want 1 (cross sends excluded)", got)
+	}
+}

@@ -26,6 +26,9 @@ func (a *Analysis) WriteText(w io.Writer) error {
 			p(" latency mean=%v p50≤%v p99≤%v max=%v",
 				ns(ps.Latency.Mean()), ns(ps.Latency.Quantile(0.50)), ns(ps.Latency.Quantile(0.99)), ns(ps.Latency.Max))
 		}
+		if ps.CrossSends+ps.CrossRecvs > 0 {
+			p(" cross-node sends=%d recvs=%d", ps.CrossSends, ps.CrossRecvs)
+		}
 		if ps.UnmatchedSends+ps.UnmatchedRecvs > 0 {
 			p(" UNMATCHED sends=%d recvs=%d", ps.UnmatchedSends, ps.UnmatchedRecvs)
 		}
@@ -45,6 +48,21 @@ func (a *Analysis) WriteText(w io.Writer) error {
 			}
 			p("  %3d -> %-3d %-10s msgs=%-6d bytes=%-10d mean=%v\n",
 				pr.Src, pr.Dst, pr.Path, pr.Matched, pr.Bytes, ns(pr.Latency.Mean()))
+		}
+	}
+
+	if len(a.Links) > 0 {
+		p("\n== cross-node links ==\n")
+		for _, f := range a.Links {
+			p("  node %d -> node %-2d frames=%-6d recv-side=%-6d seq-matched=%-6d bytes=%-10d",
+				f.Src, f.Dst, f.Sends, f.Recvs, f.Matched, f.Bytes)
+			if f.Latency.N > 0 {
+				p(" one-way mean=%v p99≤%v", ns(f.Latency.Mean()), ns(f.Latency.Quantile(0.99)))
+			}
+			if f.Retransmits > 0 {
+				p(" retrans-rounds=%d", f.Retransmits)
+			}
+			p("\n")
 		}
 	}
 

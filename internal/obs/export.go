@@ -22,34 +22,57 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // cumulative with an explicit +Inf bucket plus _sum and _count series.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	// Labeled series share one family (the name up to the label block) and
+	// must share one TYPE line; snapshots are name-sorted, so all series of a
+	// family are contiguous but a set still dedupes `foo` vs `foo{...}`.
+	typed := map[string]bool{}
+	typeLine := func(series, kind string) {
+		fam := seriesFamily(series)
+		if !typed[fam] {
+			typed[fam] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, kind)
+		}
+	}
 	for _, c := range s.Counters {
-		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", c.Name, c.Value)
 	}
 	for _, g := range s.Gauges {
-		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value)
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
+		typeLine(h.Name, "histogram")
+		// A labeled histogram series (e.g. parsed back from a cluster-merged
+		// scrape) folds its labels into each bucket alongside le.
+		fam, labels, ok := splitSeries(h.Name)
+		if !ok {
+			fam, labels = h.Name, nil
+		}
+		series := func(suffix string, extra ...Label) string {
+			return SeriesName(fam+suffix, append(append([]Label(nil), labels...), extra...)...)
+		}
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", h.Name, b, cum)
+			fmt.Fprintf(bw, "%s %d\n", series("_bucket", Label{"le", strconv.FormatInt(b, 10)}), cum)
 		}
 		cum += h.Counts[len(h.Counts)-1]
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
-		fmt.Fprintf(bw, "%s_sum %d\n", h.Name, h.Sum)
-		fmt.Fprintf(bw, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(bw, "%s %d\n", series("_bucket", Label{"le", "+Inf"}), cum)
+		fmt.Fprintf(bw, "%s %d\n", series("_sum"), h.Sum)
+		fmt.Fprintf(bw, "%s %d\n", series("_count"), h.Count)
 	}
 	return bw.Flush()
 }
 
-// ParsePrometheus parses text previously produced by WritePrometheus back
-// into a Snapshot (cumulative buckets are de-accumulated).  It understands
-// exactly the subset of the exposition format this package emits; it exists
-// so exports can be round-trip tested and snapshots diffed.
+// ParsePrometheus parses text previously produced by WritePrometheus (or by
+// the cluster monitor's merged endpoint, which adds a node label to every
+// series) back into a Snapshot (cumulative buckets are de-accumulated).  It
+// understands exactly the subset of the exposition format this package
+// emits; it exists so exports can be round-trip tested and snapshots diffed.
 func ParsePrometheus(r io.Reader) (Snapshot, error) {
 	var s Snapshot
-	types := map[string]string{}
+	types := map[string]string{} // family -> counter|gauge|histogram
 	hists := map[string]*HistogramSample{}
 	var order []string // histogram first-seen order
 
@@ -66,20 +89,45 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 			}
 			continue
 		}
-		f := strings.Fields(line)
-		if len(f) != 2 {
+		// Split "series value"; a label value may contain spaces, so cut at
+		// the label block's closing brace rather than the first blank.
+		var name, valStr string
+		if i := strings.LastIndexByte(line, '}'); i >= 0 {
+			name, valStr = line[:i+1], strings.TrimSpace(line[i+1:])
+		} else {
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				return s, fmt.Errorf("obs: unparseable sample line %q", line)
+			}
+			name, valStr = f[0], f[1]
+		}
+		if valStr == "" || strings.ContainsRune(valStr, ' ') {
 			return s, fmt.Errorf("obs: unparseable sample line %q", line)
 		}
-		name, valStr := f[0], f[1]
 		val, err := strconv.ParseInt(valStr, 10, 64)
 		if err != nil {
 			return s, fmt.Errorf("obs: bad value in %q: %v", line, err)
 		}
-		// Histogram series: name_bucket{le="..."} / name_sum / name_count.
-		if i := strings.Index(name, "_bucket{le=\""); i >= 0 && strings.HasSuffix(name, "\"}") {
-			base := name[:i]
-			le := name[i+len("_bucket{le=\"") : len(name)-2]
-			h := histFor(hists, &order, base)
+		fam, labels, ok := splitSeries(name)
+		if !ok {
+			return s, fmt.Errorf("obs: malformed label block in %q", line)
+		}
+		// Histogram series: fam_bucket{...,le="..."} / fam_sum / fam_count,
+		// where fam minus the suffix has TYPE histogram.  Non-le labels fold
+		// back into the histogram's series name.
+		if base, isB := strings.CutSuffix(fam, "_bucket"); isB && types[base] == "histogram" {
+			le, rest := "", make([]Label, 0, len(labels))
+			for _, l := range labels {
+				if l.Key == "le" {
+					le = l.Value
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			if le == "" {
+				return s, fmt.Errorf("obs: bucket sample without le label: %q", line)
+			}
+			h := histFor(hists, &order, SeriesName(base, rest...))
 			if le == "+Inf" {
 				h.Counts = append(h.Counts, val)
 			} else {
@@ -92,15 +140,15 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 			}
 			continue
 		}
-		if base, ok := strings.CutSuffix(name, "_sum"); ok && types[base] == "histogram" {
-			histFor(hists, &order, base).Sum = val
+		if base, isS := strings.CutSuffix(fam, "_sum"); isS && types[base] == "histogram" {
+			histFor(hists, &order, SeriesName(base, labels...)).Sum = val
 			continue
 		}
-		if base, ok := strings.CutSuffix(name, "_count"); ok && types[base] == "histogram" {
-			histFor(hists, &order, base).Count = val
+		if base, isC := strings.CutSuffix(fam, "_count"); isC && types[base] == "histogram" {
+			histFor(hists, &order, SeriesName(base, labels...)).Count = val
 			continue
 		}
-		switch types[name] {
+		switch types[fam] {
 		case "counter":
 			s.Counters = append(s.Counters, CounterSample{Name: name, Value: val})
 		case "gauge":

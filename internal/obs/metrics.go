@@ -23,6 +23,11 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Store overwrites the count.  It exists for mirroring an external monotonic
+// source (e.g. a transport link's internal frame counters) into the
+// registry; regular instrumentation should use Add/Inc.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Gauge is a metric that can go up and down (e.g. a sampled queue depth).
 type Gauge struct {
 	v atomic.Int64

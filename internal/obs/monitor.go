@@ -44,15 +44,58 @@ type RankState struct {
 	Wait *WaitState `json:"wait,omitempty"`
 }
 
+// LinkState is one transport link's entry in the monitor's /links view —
+// the JSON rendering of the transport's per-peer snapshot, which is also
+// what the cluster monitor folds into its /cluster view.
+type LinkState struct {
+	Peer       int    `json:"peer"`
+	Up         bool   `json:"up"`
+	EverUp     bool   `json:"ever_up"`
+	Departed   bool   `json:"departed"`
+	Dead       bool   `json:"dead"`
+	DeadReason string `json:"dead_reason,omitempty"`
+	Unacked    int    `json:"unacked"`
+
+	FramesSent  int64 `json:"frames_sent"`
+	FramesRecv  int64 `json:"frames_recv"`
+	BytesSent   int64 `json:"bytes_sent"`
+	BytesRecv   int64 `json:"bytes_recv"`
+	Retransmits int64 `json:"retransmits"`
+	RetryRounds int64 `json:"retry_rounds"`
+	Reconnects  int64 `json:"reconnects"`
+	AcksSent    int64 `json:"acks_sent"`
+	AcksRecv    int64 `json:"acks_recv"`
+	SendBusy    int64 `json:"send_busy"`
+
+	HeartbeatsSent int64 `json:"heartbeats_sent"`
+	HeartbeatsRecv int64 `json:"heartbeats_recv"`
+	HeartbeatAgeNs int64 `json:"heartbeat_age_ns"`
+	SmoothedRTTNs  int64 `json:"smoothed_rtt_ns"`
+	ClockOffsetNs  int64 `json:"clock_offset_ns"`
+}
+
 // Monitor serves the live introspection endpoints over one metrics registry
 // and one rank-state source.  Both are optional: a nil registry serves an
 // empty (but valid) scrape, a nil source serves an empty rank list.
 type Monitor struct {
-	metrics *Metrics
-	ranks   func() []RankState
-	started time.Time
-	scrapes *Counter
+	metrics  *Metrics
+	ranks    func() []RankState
+	links    func() []LinkState
+	onScrape func()
+	started  time.Time
+	scrapes  *Counter
 }
+
+// SetLinks installs the transport link-state source behind /links.  A nil
+// source (the default; also any non-transport run) serves an empty list.
+func (mon *Monitor) SetLinks(f func() []LinkState) { mon.links = f }
+
+// SetOnScrape installs a hook run at the start of every /metrics scrape,
+// before the registry snapshot.  The runtime uses it to sync the per-peer
+// link telemetry counters from the transport's internal atomics, so a
+// scrape always serves current values without the transport paying for
+// registry writes on its hot paths.
+func (mon *Monitor) SetOnScrape(f func()) { mon.onScrape = f }
 
 // NewMonitor builds a monitor over the given registry (nil creates a private
 // one, so /metrics always serves valid exposition text) and rank-state
@@ -81,6 +124,7 @@ func (mon *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/", mon.serveIndex)
 	mux.HandleFunc("/metrics", mon.serveMetrics)
 	mux.HandleFunc("/ranks", mon.serveRanks)
+	mux.HandleFunc("/links", mon.serveLinks)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -98,11 +142,15 @@ func (mon *Monitor) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pure runtime monitor (up %v)\n\n", time.Since(mon.started).Round(time.Second))
 	fmt.Fprintln(w, "/metrics      Prometheus scrape of the runtime metrics")
 	fmt.Fprintln(w, "/ranks        JSON wait state of every rank")
+	fmt.Fprintln(w, "/links        JSON per-peer transport link telemetry")
 	fmt.Fprintln(w, "/debug/pprof  goroutine / CPU / heap profiles")
 }
 
 func (mon *Monitor) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	mon.scrapes.Inc()
+	if mon.onScrape != nil {
+		mon.onScrape()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := mon.metrics.Snapshot().WritePrometheus(w); err != nil {
 		// Headers are gone; all we can do is log nothing and drop the conn.
@@ -125,6 +173,26 @@ func (mon *Monitor) serveRanks(w http.ResponseWriter, _ *http.Request) {
 	}
 	if view.Ranks == nil {
 		view.Ranks = []RankState{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view)
+}
+
+// LinksView is the /links response body.
+type LinksView struct {
+	Time  string      `json:"time"`
+	Links []LinkState `json:"links"`
+}
+
+func (mon *Monitor) serveLinks(w http.ResponseWriter, _ *http.Request) {
+	view := LinksView{Time: time.Now().Format(time.RFC3339Nano)}
+	if mon.links != nil {
+		view.Links = mon.links()
+	}
+	if view.Links == nil {
+		view.Links = []LinkState{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -20,6 +20,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -136,6 +137,10 @@ const DefaultRankEvents = 1 << 16
 type Trace struct {
 	start time.Time
 	ranks []RankTrace
+
+	metaMu sync.Mutex
+	meta   TraceMeta
+	hasMet bool
 }
 
 // NewTrace builds a tracer for nranks ranks with perRankEvents ring slots
@@ -160,6 +165,34 @@ func NewTrace(nranks, perRankEvents int) *Trace {
 		}
 	}
 	return t
+}
+
+// StartUnixNano returns the wall clock at the trace's relative time zero.
+func (t *Trace) StartUnixNano() int64 { return t.start.UnixNano() }
+
+// SetMeta attaches recording-time context (node identity, rank placement,
+// clock samples, transport link events) carried into the binary dump.  The
+// runtime calls it once, after the ranks have stopped; StartUnixNano is
+// filled by the trace itself.
+func (t *Trace) SetMeta(m TraceMeta) {
+	t.metaMu.Lock()
+	t.meta = m
+	t.hasMet = true
+	t.metaMu.Unlock()
+}
+
+// Meta returns the attached metadata, with StartUnixNano always filled; a
+// trace with no SetMeta call reports an unknown node (-1).
+func (t *Trace) Meta() TraceMeta {
+	t.metaMu.Lock()
+	m := t.meta
+	has := t.hasMet
+	t.metaMu.Unlock()
+	if !has {
+		m = TraceMeta{Node: -1}
+	}
+	m.StartUnixNano = t.start.UnixNano()
+	return m
 }
 
 // ceilPow2 rounds n up to the next power of two.

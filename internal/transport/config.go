@@ -94,6 +94,13 @@ type Config struct {
 	// link.
 	DrainTimeout time.Duration
 
+	// LinkEvents, when positive, gives each link a transport trace ring of
+	// that many entries recording frame send/recv/retransmit events with
+	// link sequence numbers (read back via Transport.LinkEvents).  The
+	// runtime enables it exactly when rank tracing is on; 0 keeps the send
+	// path free of trace work.
+	LinkEvents int
+
 	// Faults is the transport fault plan (chaos testing).
 	Faults Faults
 }
@@ -213,6 +220,11 @@ const (
 	EnvNode  = "PURE_NODE"  // this process's node id
 	EnvAddrs = "PURE_ADDRS" // comma-separated listen addresses, indexed by node id
 	EnvJob   = "PURE_JOB"   // numeric job id (optional, default 0)
+	// EnvMonitor is the monitor listen address purerun -monitor assigns to
+	// each worker.  FromEnv does not consume it (the monitor belongs to the
+	// runtime, not the transport); workers read it and set
+	// Config.MonitorAddr so the launcher's aggregator can scrape them.
+	EnvMonitor = "PURE_MONITOR"
 )
 
 // FromEnv builds a Config from the PURE_NODE / PURE_ADDRS / PURE_JOB

@@ -50,19 +50,35 @@ func DecodeHello(b []byte) (Hello, error) {
 	}, nil
 }
 
-// Heartbeat is the keepalive payload.
+// Heartbeat is the keepalive payload.  Beyond liveness (which only needs the
+// frame's arrival), each heartbeat echoes the most recently received peer
+// heartbeat together with its local arrival time.  That turns every
+// heartbeat pair into one NTP-style clock sample: with t0 = EchoSentUnixNano
+// (peer's clock), t1 = EchoRecvUnixNano (our clock), t2 = SentUnixNano
+// (our clock), t3 = the peer's arrival clock, the peer computes
+// offset = ((t1-t0)+(t2-t3))/2 and rtt = (t3-t0)-(t2-t1); the holding time
+// t2-t1 between receive and echo cancels out, so echoing on the regular
+// heartbeat cadence costs nothing in accuracy.
 type Heartbeat struct {
 	Nonce        uint64 // per-link counter (detects log interleaving, aids debugging)
 	SentUnixNano int64  // sender clock at transmission
+	// Echo of the newest heartbeat received from the peer; all three are
+	// zero until the first one arrives.
+	EchoNonce        uint64 // that heartbeat's Nonce
+	EchoSentUnixNano int64  // its SentUnixNano, returned verbatim (peer clock)
+	EchoRecvUnixNano int64  // local clock when it arrived
 }
 
-const heartbeatLen = 8 + 8
+const heartbeatLen = 8 + 8 + 8 + 8 + 8
 
 // Encode serializes the heartbeat payload.
 func (h *Heartbeat) Encode() []byte {
 	b := make([]byte, heartbeatLen)
 	binary.LittleEndian.PutUint64(b[0:], h.Nonce)
 	binary.LittleEndian.PutUint64(b[8:], uint64(h.SentUnixNano))
+	binary.LittleEndian.PutUint64(b[16:], h.EchoNonce)
+	binary.LittleEndian.PutUint64(b[24:], uint64(h.EchoSentUnixNano))
+	binary.LittleEndian.PutUint64(b[32:], uint64(h.EchoRecvUnixNano))
 	return b
 }
 
@@ -72,8 +88,11 @@ func DecodeHeartbeat(b []byte) (Heartbeat, error) {
 		return Heartbeat{}, fmt.Errorf("transport: %d-byte heartbeat payload, want %d", len(b), heartbeatLen)
 	}
 	return Heartbeat{
-		Nonce:        binary.LittleEndian.Uint64(b[0:]),
-		SentUnixNano: int64(binary.LittleEndian.Uint64(b[8:])),
+		Nonce:            binary.LittleEndian.Uint64(b[0:]),
+		SentUnixNano:     int64(binary.LittleEndian.Uint64(b[8:])),
+		EchoNonce:        binary.LittleEndian.Uint64(b[16:]),
+		EchoSentUnixNano: int64(binary.LittleEndian.Uint64(b[24:])),
+		EchoRecvUnixNano: int64(binary.LittleEndian.Uint64(b[32:])),
 	}, nil
 }
 

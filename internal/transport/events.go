@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// linkEventRing is the per-link transport trace: a small mutex-guarded ring
+// of frame events (send/recv/retransmit with link sequence numbers), the
+// same newest-wins discipline as the per-rank trace rings.  It exists only
+// when Config.LinkEvents > 0 — the runtime enables it exactly when rank
+// tracing is on — so the send hot path pays nothing otherwise.
+type linkEventRing struct {
+	mu    sync.Mutex
+	buf   []obs.LinkEvent
+	total uint64 // events ever recorded; buf[total%len] is the next write slot
+}
+
+func newLinkEventRing(capacity int) *linkEventRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &linkEventRing{buf: make([]obs.LinkEvent, capacity)}
+}
+
+func (r *linkEventRing) add(e obs.LinkEvent) {
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = e
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first.
+func (r *linkEventRing) snapshot() []obs.LinkEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	out := make([]obs.LinkEvent, 0, n)
+	start := r.total - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.buf[(start+i)%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// dropped returns how many events were overwritten by ring wraparound.
+func (r *linkEventRing) dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total > uint64(len(r.buf)) {
+		return r.total - uint64(len(r.buf))
+	}
+	return 0
+}

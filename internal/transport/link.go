@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // link is the reliable channel between this node and one peer.  Exactly one
@@ -60,8 +62,28 @@ type link struct {
 	partitioned atomic.Bool // chaos switch: suppress all traffic both ways
 	deadReason  string      // written once before dead is set
 
+	// Clock alignment against this peer (guarded by clockMu): the newest
+	// heartbeat received (echoed back on our next heartbeat), the NTP-style
+	// estimator fed by echoes of our own heartbeats, and the sample history
+	// recorded into trace dumps.  rttNs/offNs mirror the current estimates
+	// for lock-free snapshots.
+	clockMu    sync.Mutex
+	peerHB     Heartbeat
+	peerHBRecv int64
+	clock      ClockEstimator
+	samples    []obs.ClockSample // ring, newest at samplesN-1 mod len
+	samplesN   uint64
+	rttNs      atomic.Int64 // smoothed filtered round-trip (EWMA); 0 = no sample yet
+	offNs      atomic.Int64 // current offset estimate (peer minus local)
+
+	events *linkEventRing // transport trace ring; nil when link tracing is off
+
 	stats linkCounters
 }
+
+// linkClockHistory bounds the per-link offset-sample history kept for trace
+// dumps; at the 25ms default heartbeat cadence it spans ~25s of run.
+const linkClockHistory = 1024
 
 // outFrame is one sequenced frame awaiting acknowledgement, fully encoded.
 type outFrame struct {
@@ -78,6 +100,8 @@ type linkCounters struct {
 	dupsDropped, oooDropped  atomic.Int64
 	reconnects               atomic.Int64
 	hbSent, hbRecv, acksSent atomic.Int64
+	acksRecv                 atomic.Int64
+	retryRounds              atomic.Int64
 	dropsInjected            atomic.Int64
 	delaysInjected           atomic.Int64
 	sendBusy                 atomic.Int64
@@ -117,6 +141,13 @@ func (l *link) send(f *Frame) error {
 	f.Ack = l.deliveredA.Load()
 	f.SrcNode = int32(l.t.cfg.Node)
 	buf := AppendFrame(make([]byte, 0, HeaderLen+len(f.Payload)), f)
+	if l.events != nil {
+		l.events.add(obs.LinkEvent{
+			TS: time.Now().UnixNano(), Kind: obs.LinkSend,
+			Node: int32(l.t.cfg.Node), Peer: int32(l.peer),
+			Seq: f.Seq, Bytes: int32(len(f.Payload)),
+		})
+	}
 	l.unacked = append(l.unacked, outFrame{seq: f.Seq, buf: buf})
 	if len(l.unacked) == 1 {
 		l.attempts = 0
@@ -288,8 +319,12 @@ func (l *link) readLoop(c Conn, gen uint64) {
 			l.acceptSequenced(&f, br)
 		case KindHeartbeat:
 			l.stats.hbRecv.Add(1)
+			if hb, err := DecodeHeartbeat(f.Payload); err == nil {
+				l.noteHeartbeat(hb, time.Now())
+			}
 		case KindAck:
-			// Fully handled by the piggyback path above.
+			// The watermark itself is handled by the piggyback path above.
+			l.stats.acksRecv.Add(1)
 		case KindBye:
 			l.handleBye(&f)
 		case KindHello, KindWelcome:
@@ -312,6 +347,13 @@ func (l *link) acceptSequenced(f *Frame, br *bufio.Reader) {
 		l.delivered++
 		l.deliveredA.Store(l.delivered)
 		l.sinceAck++
+		if l.events != nil {
+			l.events.add(obs.LinkEvent{
+				TS: time.Now().UnixNano(), Kind: obs.LinkRecv,
+				Node: int32(l.t.cfg.Node), Peer: int32(l.peer),
+				Seq: f.Seq, Bytes: int32(len(f.Payload)),
+			})
+		}
 		if f.Kind == KindApplied {
 			if h := l.t.h.Applied; h != nil {
 				h(f)
@@ -409,6 +451,7 @@ func (l *link) tick(now time.Time) {
 			return
 		}
 		n := len(l.unacked)
+		lowest := l.unacked[0].seq
 		for _, of := range l.unacked {
 			l.bw.Write(of.buf)
 		}
@@ -417,6 +460,14 @@ func (l *link) tick(now time.Time) {
 		} else {
 			l.stats.framesSent.Add(int64(n))
 			l.stats.retransmits.Add(int64(n))
+			l.stats.retryRounds.Add(1)
+			if l.events != nil {
+				l.events.add(obs.LinkEvent{
+					TS: now.UnixNano(), Kind: obs.LinkRetransmit,
+					Node: int32(l.t.cfg.Node), Peer: int32(l.peer),
+					Seq: lowest, Bytes: int32(n),
+				})
+			}
 		}
 		l.retryAt = now.Add(l.backoff(l.attempts))
 	}
@@ -431,8 +482,64 @@ func (l *link) tick(now time.Time) {
 	if sendHB {
 		l.stats.hbSent.Add(1)
 		hb := Heartbeat{Nonce: nonce, SentUnixNano: now.UnixNano()}
+		// Echo the newest heartbeat heard from the peer: that closes the
+		// peer's NTP loop (its t0/t1 come back alongside our t2).
+		l.clockMu.Lock()
+		hb.EchoNonce = l.peerHB.Nonce
+		hb.EchoSentUnixNano = l.peerHB.SentUnixNano
+		hb.EchoRecvUnixNano = l.peerHBRecv
+		l.clockMu.Unlock()
 		l.sendControl(KindHeartbeat, hb.Encode())
 	}
+}
+
+// noteHeartbeat ingests one received heartbeat: remembers it for echoing,
+// and — when it echoes one of ours — turns the four timestamps into a clock
+// offset sample.
+func (l *link) noteHeartbeat(hb Heartbeat, now time.Time) {
+	t3 := now.UnixNano()
+	l.clockMu.Lock()
+	if hb.Nonce > l.peerHB.Nonce {
+		l.peerHB = hb
+		l.peerHBRecv = t3
+	}
+	if l.clock.AddSample(hb.EchoSentUnixNano, hb.EchoRecvUnixNano, hb.SentUnixNano, t3) {
+		off, _ := l.clock.Offset()
+		delay, _ := l.clock.Delay()
+		l.offNs.Store(off)
+		if prev := l.rttNs.Load(); prev == 0 {
+			l.rttNs.Store(delay)
+		} else {
+			l.rttNs.Store(prev - prev/8 + delay/8)
+		}
+		s := obs.ClockSample{
+			Peer: int32(l.peer), LocalUnixNano: t3,
+			OffsetNs: ((hb.EchoRecvUnixNano - hb.EchoSentUnixNano) + (hb.SentUnixNano - t3)) / 2,
+			DelayNs:  (t3 - hb.EchoSentUnixNano) - (hb.SentUnixNano - hb.EchoRecvUnixNano),
+		}
+		if len(l.samples) < linkClockHistory {
+			l.samples = append(l.samples, s)
+		} else {
+			l.samples[l.samplesN%linkClockHistory] = s
+		}
+		l.samplesN++
+	}
+	l.clockMu.Unlock()
+}
+
+// clockSamples returns the recorded offset-sample history, oldest first.
+func (l *link) clockSamples() []obs.ClockSample {
+	l.clockMu.Lock()
+	defer l.clockMu.Unlock()
+	out := make([]obs.ClockSample, 0, len(l.samples))
+	if l.samplesN > linkClockHistory {
+		start := l.samplesN % linkClockHistory
+		out = append(out, l.samples[start:]...)
+		out = append(out, l.samples[:start]...)
+	} else {
+		out = append(out, l.samples...)
+	}
+	return out
 }
 
 // backoff returns the exponential retransmit backoff for the given round,
@@ -551,8 +658,15 @@ func (l *link) snapshot() LinkStats {
 	unacked := len(l.unacked)
 	reason := l.deadReason
 	l.mu.Unlock()
+	hbAge := int64(0)
+	if last := l.lastRecv.Load(); last > 0 && l.everUp.Load() {
+		hbAge = time.Now().UnixNano() - last
+	}
 	return LinkStats{
-		Node: l.peer, Up: up, EverUp: l.everUp.Load(),
+		SmoothedRTTNs:  l.rttNs.Load(),
+		ClockOffsetNs:  l.offNs.Load(),
+		HeartbeatAgeNs: hbAge,
+		Node:           l.peer, Up: up, EverUp: l.everUp.Load(),
 		Departed: l.departed.Load(), Dead: l.dead.Load(), DeadReason: reason,
 		Unacked:        unacked,
 		FramesSent:     l.stats.framesSent.Load(),
@@ -566,6 +680,8 @@ func (l *link) snapshot() LinkStats {
 		HeartbeatsSent: l.stats.hbSent.Load(),
 		HeartbeatsRecv: l.stats.hbRecv.Load(),
 		AcksSent:       l.stats.acksSent.Load(),
+		AcksRecv:       l.stats.acksRecv.Load(),
+		RetryRounds:    l.stats.retryRounds.Load(),
 		DropsInjected:  l.stats.dropsInjected.Load(),
 		DelaysInjected: l.stats.delaysInjected.Load(),
 		SendBusy:       l.stats.sendBusy.Load(),

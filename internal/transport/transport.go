@@ -3,9 +3,12 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrBusy reports a full resend window toward the destination: the link will
@@ -102,6 +105,7 @@ func New(cfg Config, be Backend, nranks int, h Handlers) (*Transport, error) {
 			addr:   cfg.Addrs[peer],
 			dialer: cfg.Node < peer,
 			rng:    cfg.Faults.Seed ^ (uint64(cfg.Node)<<32 | uint64(peer)) ^ 0x9e3779b97f4a7c15,
+			events: newLinkEventRing(cfg.LinkEvents),
 		}
 		t.links[peer] = l
 	}
@@ -294,9 +298,17 @@ type LinkStats struct {
 	HeartbeatsSent         int64
 	HeartbeatsRecv         int64
 	AcksSent               int64 // explicit ack frames (piggybacks not counted)
+	AcksRecv               int64 // explicit ack frames received
+	RetryRounds            int64 // go-back-N retransmit rounds (backoff events)
 	DropsInjected          int64 // fault plan: first transmissions suppressed
 	DelaysInjected         int64 // fault plan: deliveries delayed
 	SendBusy               int64 // sends refused by a full resend window
+
+	// Clock/latency telemetry from the heartbeat echo exchange; all zero
+	// until the first completed echo round trip.
+	SmoothedRTTNs  int64 // EWMA of the filtered heartbeat round trip
+	ClockOffsetNs  int64 // estimated peer clock minus local clock
+	HeartbeatAgeNs int64 // time since anything was heard from the peer
 }
 
 // Stats snapshots every link.  The slice is indexed by peer node id with
@@ -308,6 +320,35 @@ func (t *Transport) Stats() []LinkStats {
 			out[i] = l.snapshot()
 		}
 	}
+	return out
+}
+
+// ClockSamples returns every link's recorded clock-offset history, merged
+// and ordered by local arrival time.  The runtime records these into the
+// node's binary trace dump; `puretrace merge` uses them to align per-node
+// dumps onto one timeline.
+func (t *Transport) ClockSamples() []obs.ClockSample {
+	var out []obs.ClockSample
+	for _, l := range t.links {
+		if l != nil {
+			out = append(out, l.clockSamples()...)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].LocalUnixNano < out[b].LocalUnixNano })
+	return out
+}
+
+// LinkEvents returns every link's retained transport trace events (frame
+// send/recv/retransmit with sequence numbers), merged and time-ordered.
+// Empty unless Config.LinkEvents enabled the rings.
+func (t *Transport) LinkEvents() []obs.LinkEvent {
+	var out []obs.LinkEvent
+	for _, l := range t.links {
+		if l != nil && l.events != nil {
+			out = append(out, l.events.snapshot()...)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].TS < out[b].TS })
 	return out
 }
 

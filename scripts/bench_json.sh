@@ -1,16 +1,16 @@
 #!/bin/sh
 # bench_json.sh — run the PR's headline microbenchmarks and emit their
-# ns/op AND allocs/op as machine-readable JSON (BENCH_pr9.json), so perf and
-# allocation regressions in the hot loops are visible across commits.  This
-# PR adds the PGAS layer (docs/SHMEM.md): intra-node symmetric-heap Put and
-# the remote atomics (the zero-allocation direct paths verify.sh gates on)
-# plus the actor-mailbox round trip.
+# ns/op AND allocs/op as machine-readable JSON (BENCH_pr10.json), so perf
+# and allocation regressions in the hot loops are visible across commits.
+# This PR adds cluster-wide observability (docs/OBSERVABILITY.md): the new
+# monitored-TCP pair measures the per-peer link telemetry's cost on the
+# cross-node frame path, which verify.sh gates under 5%.
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_pr9.json}
+out=${1:-BENCH_pr10.json}
 benchtime=${PURE_BENCHTIME:-1s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -41,6 +41,9 @@ go test -run XXX -bench 'BenchmarkPurePingPongMonitored$' -benchmem -benchtime "
 
 echo "== TCP ping-pong, 2 nodes over real sockets (internal/core)"
 go test -run XXX -bench 'BenchmarkTCPPingPong8B$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
+
+echo "== TCP ping-pong with per-node live monitors + link telemetry (internal/core)"
+go test -run XXX -bench 'BenchmarkTCPPingPong8BMonitored$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"
 
 echo "== TCP Allreduce, 2 nodes x 2 ranks over real sockets (internal/core)"
 go test -run XXX -bench 'BenchmarkTCPAllreduce8B$' -benchmem -benchtime "$benchtime" ./internal/core | tee -a "$tmp"

@@ -73,6 +73,89 @@ case "$runout" in
     exit 1 ;;
 esac
 
+echo "== cluster observability smoke (per-node dumps -> puretrace merge -> cross-node match)"
+# The full pipeline from docs/OBSERVABILITY.md "Cluster observability": a
+# real 2-process job writes one v2 trace dump per node (clock samples, link
+# events, placement), puretrace merge aligns them on the heartbeat-derived
+# clock offsets, and the merged analysis must pair remote sends with their
+# receives on the other machine and report sequence-matched link flows.
+obsdir="$(mktemp -d /tmp/pure-obs.XXXXXX)"
+trap 'rm -f "$workerbin"; rm -rf "$obsdir"' EXIT
+# 5ms heartbeats + enough iterations that both directions collect clock
+# samples (each sample needs a heartbeat echoed back).
+runout="$(PURE_HB_MS=5 PURE_ITERS=2000 PURE_TRACE_BIN="$obsdir/trace.bin" \
+    go run ./cmd/purerun -n 2 -ranks 4 -timeout 60s "$workerbin")"
+echo "$runout" | tail -2
+for node in 0 1; do
+    if [ ! -f "$obsdir/trace.bin.node$node" ]; then
+        echo "verify: FAIL — node $node never wrote its trace dump" >&2
+        echo "$runout" >&2
+        exit 1
+    fi
+done
+mergeout="$(go run ./cmd/puretrace merge -o "$obsdir/merged.bin" \
+    "$obsdir/trace.bin.node0" "$obsdir/trace.bin.node1")"
+echo "$mergeout"
+case "$mergeout" in
+*"offset "*"via node"*) ;;
+*)
+    echo "verify: FAIL — merge aligned no node clocks (no offset line)" >&2
+    exit 1 ;;
+esac
+mergedout="$(go run ./cmd/puretrace analyze "$obsdir/merged.bin")"
+echo "$mergedout" | head -3
+crossmatched="$(echo "$mergedout" | awk '$1 == "remote" {
+    for (i = 2; i <= NF; i++) if (sub(/^matched=/, "", $i)) print $i }')"
+if [ -z "$crossmatched" ] || [ "$crossmatched" -eq 0 ]; then
+    echo "verify: FAIL — merged analyze matched no cross-node message pairs" >&2
+    echo "$mergedout" >&2
+    exit 1
+fi
+echo "cross-node matched pairs: $crossmatched"
+case "$mergedout" in
+*"seq-matched="*) ;;
+*)
+    echo "verify: FAIL — merged analyze reports no cross-node link flows" >&2
+    echo "$mergedout" >&2
+    exit 1 ;;
+esac
+
+echo "== cluster monitor smoke (purerun -monitor serves every node's link telemetry)"
+go test -count=1 -run 'TestRunMonitorServesClusterView' ./cmd/purerun
+
+echo "== monitored TCP overhead gate (min-over-runs ping-pong, <5%)"
+# Per-peer link telemetry must be effectively free on the frame path: the
+# counters are lock-free atomics and the labeled-series mirror only syncs on
+# scrape.  Minimum-over-6-runs filters scheduler noise on shared CI boxes; a
+# persistently high ratio across 3 attempts is a real regression.
+attempts=0
+while :; do
+    attempts=$((attempts + 1))
+    benchout="$(go test -run XXX -bench 'BenchmarkTCPPingPong8B$|BenchmarkTCPPingPong8BMonitored$' \
+        -benchtime 2000x -count=6 ./internal/core)"
+    echo "$benchout" | grep '^Benchmark'
+    verdict="$(echo "$benchout" | awk '
+        /^BenchmarkTCPPingPong8B-/          { if (!p || $3 + 0 < p) p = $3 + 0 }
+        /^BenchmarkTCPPingPong8BMonitored-/ { if (!m || $3 + 0 < m) m = $3 + 0 }
+        END {
+            if (!p || !m) { print "unparsed"; exit }
+            printf "plain=%.0fns monitored=%.0fns ratio=%.3f %s\n",
+                p, m, m / p, (m <= p * 1.05 ? "ok" : "high")
+        }')"
+    echo "monitored-overhead: $verdict"
+    case "$verdict" in
+    *ok) break ;;
+    *high)
+        if [ "$attempts" -ge 3 ]; then
+            echo "verify: FAIL — monitored TCP ping-pong stayed >5% over plain for $attempts attempts" >&2
+            exit 1
+        fi ;;
+    *)
+        echo "verify: FAIL — overhead gate could not parse benchmark output" >&2
+        exit 1 ;;
+    esac
+done
+
 echo "== statsd pipeline smoke (checksum-asserted flush totals; docs/STATSD.md)"
 # Three shapes: blocking (every event applied), drop-policy backpressure
 # (shed load still exactly accounted), and skewed stealing drains.  EXACT
@@ -144,7 +227,7 @@ go run ./cmd/purebench -quick -exp rma
 
 echo "== trace analytics smoke (traced stencil -> binary dump -> puretrace analyze)"
 tracebin="$(mktemp /tmp/pure-trace.XXXXXX.bin)"
-trap 'rm -f "$workerbin" "$tracebin"' EXIT
+trap 'rm -f "$workerbin" "$tracebin"; rm -rf "$obsdir"' EXIT
 go run ./cmd/purebench -trace-bin "$tracebin"
 out="$(go run ./cmd/puretrace analyze "$tracebin")"
 echo "$out" | head -3
